@@ -1,0 +1,229 @@
+package repro
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/bus"
+	idedrv "repro/internal/drivers/ide"
+	pmdrv "repro/internal/drivers/permedia2"
+	"repro/internal/experiments"
+	genbm "repro/internal/gen/busmouse"
+	"repro/internal/mutation"
+	simbm "repro/internal/sim/busmouse"
+	simide "repro/internal/sim/ide"
+	simpm "repro/internal/sim/permedia2"
+)
+
+// ---------------------------------------------------------------------------
+// Table 1: mutation analysis. The benchmark reports the paper's headline
+// metric — the ratio of undetected-error propensity, C over C_Devil — as a
+// custom metric per device.
+
+func BenchmarkTable1MutationAnalysis(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := mutation.RunStudy("busmouse")
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(rows[0].RatioCDevil(), "C/C_Devil-ratio")
+		b.ReportMetric(rows[0].Devil.UndetectedPerSite(), "devil-undet/site")
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Table 2: IDE throughput. One benchmark per table row; the reported
+// MB/s metrics are simulated (virtual-clock) throughput for both drivers.
+
+func ideRowBench(b *testing.B, cfg idedrv.Config) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Table2Rows(1024)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			if r.Config == cfg {
+				b.ReportMetric(r.StdMBs, "std-MB/s")
+				b.ReportMetric(r.DevilMBs, "devil-MB/s")
+				b.ReportMetric(r.Ratio*100, "ratio-%")
+			}
+		}
+	}
+}
+
+func BenchmarkTable2IDE(b *testing.B) {
+	cfgs := []idedrv.Config{{Mode: idedrv.DMA}}
+	for _, spi := range []int{16, 8, 1} {
+		for _, w := range []int{32, 16} {
+			cfgs = append(cfgs, idedrv.Config{Mode: idedrv.PIO, Width: w, SectorsPerIRQ: spi})
+		}
+	}
+	for _, cfg := range cfgs {
+		b.Run(cfg.String(), func(b *testing.B) { ideRowBench(b, cfg) })
+	}
+}
+
+// BenchmarkTable2IDEBlockStubs covers the §4.3 block-transfer result.
+func BenchmarkTable2IDEBlockStubs(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Table2BlockRows(1024)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var worst float64 = 1
+		for _, r := range rows {
+			if r.Ratio < worst {
+				worst = r.Ratio
+			}
+		}
+		b.ReportMetric(worst*100, "worst-ratio-%")
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Tables 3 and 4: Permedia2 driver throughput.
+
+func gfxBench(b *testing.B, copyTest bool) {
+	for _, bpp := range []int{8, 16, 24, 32} {
+		for _, size := range []int{2, 10, 100, 400} {
+			b.Run(fmt.Sprintf("%dbpp/%dx%d", bpp, size, size), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					var rows []experiments.GfxRow
+					var err error
+					if copyTest {
+						rows, err = experiments.Table4Rows(200)
+					} else {
+						rows, err = experiments.Table3Rows(200)
+					}
+					if err != nil {
+						b.Fatal(err)
+					}
+					for _, r := range rows {
+						if r.BPP == bpp && r.Size == size {
+							b.ReportMetric(r.StdRate, "std-prim/s")
+							b.ReportMetric(r.DevilRate, "devil-prim/s")
+							b.ReportMetric(r.Ratio*100, "ratio-%")
+						}
+					}
+				}
+			})
+		}
+	}
+}
+
+func BenchmarkTable3Rectangles(b *testing.B) { gfxBench(b, false) }
+
+func BenchmarkTable4ScreenCopies(b *testing.B) { gfxBench(b, true) }
+
+// ---------------------------------------------------------------------------
+// §4.3 micro-analysis: a compiled Devil stub costs the same as the
+// hand-crafted access it replaces. These two pairs measure real (wall-clock)
+// cost of the generated code against raw bus calls.
+
+func newMouseRig() (*bus.Space, *simbm.Sim) {
+	var clk bus.Clock
+	space := bus.NewSpace("io", &clk, bus.DefaultPortCosts())
+	mouse := simbm.New()
+	space.MustMap(0x23c, 4, mouse)
+	return space, mouse
+}
+
+func BenchmarkMicroStubSetConfig(b *testing.B) {
+	space, _ := newMouseRig()
+	dev := genbm.New(space, 0x23c)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dev.SetConfig(genbm.ConfigCONFIGURATION)
+	}
+}
+
+func BenchmarkMicroHandSetConfig(b *testing.B) {
+	space, _ := newMouseRig()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		space.Out8(0x23c+3, 0x91)
+	}
+}
+
+func BenchmarkMicroStubMouseState(b *testing.B) {
+	space, _ := newMouseRig()
+	dev := genbm.New(space, 0x23c)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dev.ReadMouseState()
+		_ = dev.Dx() + dev.Dy()
+	}
+}
+
+func BenchmarkMicroHandMouseState(b *testing.B) {
+	space, _ := newMouseRig()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		space.Out8(0x23c+2, 0xa0)
+		xh := space.In8(0x23c)
+		space.Out8(0x23c+2, 0x80)
+		xl := space.In8(0x23c)
+		space.Out8(0x23c+2, 0xe0)
+		yh := space.In8(0x23c)
+		space.Out8(0x23c+2, 0xc0)
+		yl := space.In8(0x23c)
+		dx := int8(xh&0xf<<4 | xl&0xf)
+		dy := int8(yh&0xf<<4 | yl&0xf)
+		_ = dx + dy
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Raw substrate benchmarks, for calibration.
+
+func BenchmarkBusPortAccess(b *testing.B) {
+	var clk bus.Clock
+	space := bus.NewSpace("io", &clk, bus.DefaultPortCosts())
+	space.MustMap(0, 16, bus.NewRAM(16))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		space.Out8(0, uint8(i))
+		_ = space.In8(0)
+	}
+}
+
+func BenchmarkIDESimPIORead(b *testing.B) {
+	var clk bus.Clock
+	space := bus.NewSpace("io", &clk, bus.DefaultPortCosts())
+	mem := bus.NewRAM(1 << 20)
+	disk := simide.New(&clk, 256, mem)
+	irq := &bus.IRQLine{}
+	disk.IRQ = irq.Raise
+	disk.Attach(space, 0x1f0, 0x3f6, 0xc000)
+	drv := idedrv.NewHand(idedrv.Ports{
+		Space: space, Clock: &clk, Mem: mem, IRQ: irq,
+		CmdBase: 0x1f0, CtlBase: 0x3f6, BMBase: 0xc000, DMAAddr: 0,
+	}, idedrv.Config{Mode: idedrv.PIO, Width: 32, SectorsPerIRQ: 16, Block: true})
+	if err := drv.Init(); err != nil {
+		b.Fatal(err)
+	}
+	buf := make([]byte, 64*simide.SectorSize)
+	b.SetBytes(int64(len(buf)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := drv.ReadSectors(0, buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPermedia2Fill(b *testing.B) {
+	var clk bus.Clock
+	space := bus.NewSpace("mmio", &clk, bus.DefaultMemCosts())
+	chip := simpm.New(&clk, 1024, 768)
+	space.MustMap(0xf0000000, 0x100, chip)
+	drv := pmdrv.NewDevil(pmdrv.Ports{Space: space, Base: 0xf0000000})
+	if err := drv.Init(8); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		drv.FillRect(0, 0, 10, 10, uint32(i))
+	}
+}

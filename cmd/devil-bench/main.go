@@ -1,0 +1,47 @@
+// Devil-bench regenerates the performance tables of the paper's evaluation
+// (Tables 2, 3 and 4) over the simulated devices, and optionally the
+// mutation study (Table 1).
+//
+// Usage:
+//
+//	devil-bench [-table N] [-sectors N] [-iters N]
+//
+// Without -table every table is printed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	table := flag.Int("table", 0, "table to regenerate (1-4; 0 = all)")
+	sectors := flag.Int("sectors", 8192, "sectors per IDE transfer (Table 2)")
+	iters := flag.Int("iters", 2000, "primitives per measurement (Tables 3-4)")
+	flag.Parse()
+
+	type gen struct {
+		n   int
+		run func() (string, error)
+	}
+	gens := []gen{
+		{1, experiments.Table1},
+		{2, func() (string, error) { return experiments.Table2(*sectors) }},
+		{3, func() (string, error) { return experiments.Table3(*iters) }},
+		{4, func() (string, error) { return experiments.Table4(*iters) }},
+	}
+	for _, g := range gens {
+		if *table != 0 && g.n != *table {
+			continue
+		}
+		out, err := g.run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "devil-bench: table %d: %v\n", g.n, err)
+			os.Exit(1)
+		}
+		fmt.Println(out)
+	}
+}

@@ -1,0 +1,67 @@
+// Devilc is the Devil compiler driver: it checks a specification and
+// generates a Go stub package.
+//
+// Usage:
+//
+//	devilc [-check] [-pkg name] [-debug] [-o out.go] spec.dil
+//
+// With -check the specification is only verified (§3.1 properties) and
+// diagnostics are printed. Otherwise Go stubs are written to -o (or stdout).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/devil/codegen"
+)
+
+func main() {
+	checkOnly := flag.Bool("check", false, "verify the specification only")
+	pkg := flag.String("pkg", "", "generated package name (default: device name)")
+	debug := flag.Bool("debug", false, "generate with runtime checks enabled")
+	out := flag.String("o", "", "output file (default: stdout)")
+	busImport := flag.String("bus", "", "bus package import path")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: devilc [-check] [-pkg name] [-debug] [-o out.go] spec.dil")
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "devilc:", err)
+		os.Exit(1)
+	}
+
+	spec, err := core.Compile(src)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if *checkOnly {
+		fmt.Printf("%s: specification OK (%d registers, %d variables, %d structures)\n",
+			flag.Arg(0), len(spec.Registers), len(spec.Variables), len(spec.Structures))
+		return
+	}
+
+	code, err := codegen.Generate(spec, codegen.Options{
+		Package:   *pkg,
+		Debug:     *debug,
+		BusImport: *busImport,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if *out == "" {
+		os.Stdout.Write(code)
+		return
+	}
+	if err := os.WriteFile(*out, code, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "devilc:", err)
+		os.Exit(1)
+	}
+}

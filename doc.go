@@ -1,0 +1,12 @@
+// Package repro is a from-scratch Go reproduction of "Devil: An IDL for
+// Hardware Programming" (Mérillon, Réveillère, Consel, Marlet, Muller;
+// OSDI 2000): the Devil compiler (scanner, parser, §3.1 consistency checks,
+// interpretive executor, Go stub generator), the device substrates the
+// paper evaluates on (bus fabric, Logitech busmouse, IDE + PIIX4 busmaster,
+// NE2000, Permedia2), the paired hand-crafted vs Devil-based drivers, and
+// the harnesses that regenerate every table of the evaluation.
+//
+// See README.md for a tour, DESIGN.md for the system inventory, and
+// EXPERIMENTS.md for paper-vs-measured results. The root-level
+// bench_test.go regenerates each table as a Go benchmark.
+package repro

@@ -1,0 +1,65 @@
+// Mousetracker: an interrupt-driven mouse driver built on the *compiled*
+// busmouse stubs (internal/gen/busmouse), tracking a synthetic pointer path
+// the way the original Linux busmouse interrupt handler does.
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/bus"
+	genbm "repro/internal/gen/busmouse"
+	simbm "repro/internal/sim/busmouse"
+)
+
+func main() {
+	var clk bus.Clock
+	io := bus.NewSpace("io", &clk, bus.DefaultPortCosts())
+	mouse := simbm.New()
+	io.MustMap(0x23c, 4, mouse)
+
+	irq := &bus.IRQLine{}
+	mouse.IRQ = irq.Raise
+
+	dev := genbm.New(io, 0x23c)
+
+	// Probe: the signature register must hold what we write.
+	dev.SetSignature(0xa5)
+	if dev.Signature() != 0xa5 {
+		fmt.Println("no busmouse at 0x23c")
+		return
+	}
+	dev.SetConfig(genbm.ConfigCONFIGURATION)
+	dev.SetInterrupt(genbm.InterruptENABLE)
+
+	// A synthetic pointer path: a square spiral.
+	moves := []struct{ dx, dy int }{
+		{10, 0}, {0, 10}, {-20, 0}, {0, -20}, {30, 0}, {0, 30},
+		{-40, 0}, {0, -40}, {50, 0},
+	}
+
+	x, y := 100, 100
+	for i, m := range moves {
+		mouse.Move(m.dx, m.dy)
+		if i%3 == 2 {
+			mouse.SetButtons(0x6) // press left
+		} else {
+			mouse.SetButtons(0x7) // release
+		}
+
+		// The interrupt handler: consume the IRQ, snapshot the state
+		// structure (which latches the counters), accumulate, re-enable.
+		if !irq.Consume() {
+			fmt.Println("lost interrupt")
+			return
+		}
+		dev.ReadMouseState()
+		dx, dy, buttons := dev.Dx(), dev.Dy(), dev.Buttons()
+		dev.SetInterrupt(genbm.InterruptENABLE) // releases the hold
+		x += int(dx)
+		y += int(dy)
+		left := buttons&0x1 == 0
+		fmt.Printf("irq %d: delta=(%+d,%+d) pos=(%d,%d) left=%v\n", i, dx, dy, x, y, left)
+	}
+	st := io.Stats()
+	fmt.Printf("handled %d interrupts with %d port operations\n", irq.Total(), st.Ops())
+}

@@ -1,0 +1,63 @@
+// Speclint: walk the specification library — the paper's envisioned "public
+// domain library of Devil specifications" — check every device, and print
+// its functional interface: exactly what a driver writer gets to program
+// against, with registers and ports hidden.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/devil/sema"
+	"repro/internal/specs"
+)
+
+func access(v *sema.Variable) string {
+	switch {
+	case v.Readable && v.Writable:
+		return "rw"
+	case v.Readable:
+		return "r-"
+	case v.Writable:
+		return "-w"
+	}
+	return "--"
+}
+
+func main() {
+	lib := specs.All()
+	var names []string
+	for name := range lib {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	for _, name := range names {
+		spec, err := core.Compile(lib[name])
+		if err != nil {
+			log.Fatalf("%s: %v", name, err)
+		}
+		fmt.Printf("device %s: %d registers, %d structures, interface:\n",
+			spec.Name, len(spec.Registers), len(spec.Structures))
+		for _, v := range spec.Interface() {
+			attrs := ""
+			if v.Volatile {
+				attrs += " volatile"
+			}
+			if v.Trigger != nil {
+				attrs += " trigger"
+			}
+			if v.Block {
+				attrs += " block"
+			}
+			owner := ""
+			if v.Struct != nil {
+				owner = " (in " + v.Struct.Name + ")"
+			}
+			fmt.Printf("  %s %-14s : %s%s%s\n", access(v), v.Name, v.Type, attrs, owner)
+		}
+		fmt.Println()
+	}
+}

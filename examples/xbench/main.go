@@ -1,0 +1,49 @@
+// Xbench: the xbench-style workload of Tables 3 and 4 — fill-rectangle and
+// screen-copy sweeps over the simulated Permedia2, standard vs Devil
+// driver, printing primitives/second from the virtual clock.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/bus"
+	pmdrv "repro/internal/drivers/permedia2"
+	simpm "repro/internal/sim/permedia2"
+)
+
+const base = 0xf000_0000
+
+func measure(mk func(pmdrv.Ports) pmdrv.Driver, bpp, size, n int) float64 {
+	var clk bus.Clock
+	mmio := bus.NewSpace("mmio", &clk, bus.DefaultMemCosts())
+	chip := simpm.New(&clk, 1024, 768)
+	mmio.MustMap(base, 0x100, chip)
+	drv := mk(pmdrv.Ports{Space: mmio, Base: base})
+	if err := drv.Init(bpp); err != nil {
+		log.Fatal(err)
+	}
+	start := clk.Now()
+	for i := 0; i < n; i++ {
+		drv.FillRect(i%64, i%64, size, size, uint32(i))
+	}
+	elapsed := clk.Now() - start
+	return float64(n) / (float64(elapsed) / 1e9)
+}
+
+func main() {
+	fmt.Println("fill-rectangle throughput (rect/s), standard vs devil")
+	fmt.Printf("%4s %9s %12s %12s %7s\n", "bpp", "size", "standard", "devil", "ratio")
+	for _, bpp := range []int{8, 16, 24, 32} {
+		for _, size := range []int{2, 10, 100, 400} {
+			n := 2000
+			if size >= 100 {
+				n = 100
+			}
+			std := measure(func(p pmdrv.Ports) pmdrv.Driver { return pmdrv.NewHand(p) }, bpp, size, n)
+			dev := measure(func(p pmdrv.Ports) pmdrv.Driver { return pmdrv.NewDevil(p) }, bpp, size, n)
+			fmt.Printf("%4d %4dx%-4d %12.0f %12.0f %6.0f%%\n",
+				bpp, size, size, std, dev, dev/std*100)
+		}
+	}
+}

@@ -1,0 +1,169 @@
+package bus
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func newSpace() (*Space, *Clock) {
+	var clk Clock
+	return NewSpace("test", &clk, Costs{AccessNS: 100, OverheadNS: 10}), &clk
+}
+
+func TestRAMRoundTrip(t *testing.T) {
+	s, _ := newSpace()
+	s.MustMap(0x100, 64, NewRAM(64))
+
+	s.Out8(0x100, 0xab)
+	if got := s.In8(0x100); got != 0xab {
+		t.Errorf("In8 = %#x", got)
+	}
+	s.Out16(0x110, 0x1234)
+	if got := s.In16(0x110); got != 0x1234 {
+		t.Errorf("In16 = %#x", got)
+	}
+	if got := s.In8(0x110); got != 0x34 {
+		t.Errorf("little-endian low byte = %#x", got)
+	}
+	s.Out32(0x120, 0xdeadbeef)
+	if got := s.In32(0x120); got != 0xdeadbeef {
+		t.Errorf("In32 = %#x", got)
+	}
+}
+
+func TestRAMRoundTripProperty(t *testing.T) {
+	ram := NewRAM(8)
+	f := func(v uint32, off8 uint8) bool {
+		off := uint32(off8 % 4)
+		ram.BusWrite(off, 32, v)
+		return ram.BusRead(off, 32) == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStatsAndClock(t *testing.T) {
+	s, clk := newSpace()
+	s.MustMap(0, 16, NewRAM(16))
+
+	s.Out8(0, 1)
+	s.In8(0)
+	st := s.Stats()
+	if st.Out != 1 || st.In != 1 || st.Ops() != 2 {
+		t.Errorf("stats = %+v", st)
+	}
+	if clk.Now() != 220 { // 2 * (100+10)
+		t.Errorf("clock = %d, want 220", clk.Now())
+	}
+
+	buf := make([]uint16, 8)
+	s.InBlock16(0, buf)
+	st = s.Stats()
+	if st.BlockIn != 1 || st.BlockUnits != 8 || st.Ops() != 3 {
+		t.Errorf("block stats = %+v", st)
+	}
+	// Block: one overhead + 8 accesses.
+	if clk.Now() != 220+10+8*100 {
+		t.Errorf("clock = %d", clk.Now())
+	}
+
+	s.ResetStats()
+	if s.Stats().Ops() != 0 {
+		t.Error("reset did not clear stats")
+	}
+}
+
+func TestBlockCheaperThanLoop(t *testing.T) {
+	// The cost model behind Table 2's block-vs-loop result: a block of n
+	// units pays the CPU overhead once.
+	sBlock, clkBlock := newSpace()
+	sBlock.MustMap(0, 16, NewRAM(16))
+	buf := make([]uint16, 128)
+	sBlock.InBlock16(0, buf)
+
+	sLoop, clkLoop := newSpace()
+	sLoop.MustMap(0, 16, NewRAM(16))
+	for i := 0; i < 128; i++ {
+		sLoop.In16(0)
+	}
+	if clkBlock.Now() >= clkLoop.Now() {
+		t.Errorf("block %d ns should beat loop %d ns", clkBlock.Now(), clkLoop.Now())
+	}
+}
+
+func TestOverlapRejected(t *testing.T) {
+	s, _ := newSpace()
+	s.MustMap(0x10, 8, NewRAM(8))
+	if err := s.Map(0x14, 8, NewRAM(8)); err == nil {
+		t.Error("overlapping map accepted")
+	}
+	if err := s.Map(0x18, 8, NewRAM(8)); err != nil {
+		t.Errorf("adjacent map rejected: %v", err)
+	}
+}
+
+func TestUnmappedFaults(t *testing.T) {
+	s, _ := newSpace()
+	if got := s.In8(0x9999); got != 0xff {
+		t.Errorf("unmapped read = %#x, want 0xff", got)
+	}
+	s.Out8(0x9999, 1)
+	if st := s.Stats(); st.Faults != 2 {
+		t.Errorf("faults = %d", st.Faults)
+	}
+}
+
+func TestStrictFaultsPanic(t *testing.T) {
+	s, _ := newSpace()
+	s.StrictFaults = true
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	s.In8(0x9999)
+}
+
+func TestReentrantHandler(t *testing.T) {
+	// A handler that performs I/O on the same space during a write — the
+	// interrupt-handler pattern — must not deadlock.
+	s, _ := newSpace()
+	s.MustMap(0x100, 16, NewRAM(16))
+	s.MustMap(0, 1, FuncHandler{
+		Write: func(off uint32, w int, v uint32) {
+			s.Out8(0x100, uint8(v))
+		},
+	})
+	s.Out8(0, 0x42)
+	if got := s.In8(0x100); got != 0x42 {
+		t.Errorf("reentrant write lost: %#x", got)
+	}
+}
+
+func TestIRQLine(t *testing.T) {
+	var l IRQLine
+	if l.Consume() {
+		t.Error("consume on empty line")
+	}
+	l.Raise()
+	l.Raise()
+	if l.Total() != 2 {
+		t.Errorf("total = %d", l.Total())
+	}
+	if !l.Consume() || !l.Consume() || l.Consume() {
+		t.Error("consume sequence wrong")
+	}
+}
+
+func TestTraceRecords(t *testing.T) {
+	tr := &Trace{Inner: NewRAM(4)}
+	tr.BusWrite(1, 8, 0x7f)
+	v := tr.BusRead(1, 8)
+	if v != 0x7f || len(tr.Events) != 2 {
+		t.Fatalf("events = %v", tr.Events)
+	}
+	if tr.Events[0].String() != "out8[1]=0x7f" || tr.Events[1].String() != "in8[1]=0x7f" {
+		t.Errorf("event strings = %v %v", tr.Events[0], tr.Events[1])
+	}
+}

@@ -1,0 +1,80 @@
+// Package core is the public facade of the Devil compiler: parse a
+// specification, check it, link it to a bus for interpretive access, or
+// generate Go stub code.
+//
+// The pipeline mirrors the paper's toolchain:
+//
+//	source (.dil)
+//	   │  Parse            — syntax (package parser)
+//	   ▼
+//	*ast.Device
+//	   │  Check/Compile    — §3.1 consistency properties (package sema)
+//	   ▼
+//	*sema.Device ──Link──▶ *exec.Device      interpretive stubs (package exec)
+//	        │
+//	        └───GenerateGo─▶ Go source       compiled stubs (package codegen)
+//
+// Typical use:
+//
+//	spec, err := core.Compile(src)
+//	dev, err := core.Link(spec, bus, map[string]uint32{"base": 0x23c}, core.Options{Debug: true})
+//	v, err := dev.Get("signature")
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/bus"
+	"repro/internal/devil/ast"
+	"repro/internal/devil/exec"
+	"repro/internal/devil/parser"
+	"repro/internal/devil/sema"
+)
+
+// Options configures linked devices; see exec.Options.
+type Options = exec.Options
+
+// Parse performs lexical and syntactic analysis only.
+func Parse(src []byte) (*ast.Device, error) {
+	dev, errs := parser.Parse(src)
+	if err := errs.Err(); err != nil {
+		return nil, fmt.Errorf("devil: %w", err)
+	}
+	return dev, nil
+}
+
+// Compile parses and fully checks a specification, returning the resolved
+// device model.
+func Compile(src []byte) (*sema.Device, error) {
+	astDev, errs := parser.Parse(src)
+	if err := errs.Err(); err != nil {
+		return nil, fmt.Errorf("devil: %w", err)
+	}
+	spec, errs := sema.Resolve(astDev)
+	if err := errs.Err(); err != nil {
+		return nil, fmt.Errorf("devil: %w", err)
+	}
+	return spec, nil
+}
+
+// Check compiles the source and returns only the diagnostics, for linting.
+func Check(src []byte) error {
+	_, err := Compile(src)
+	return err
+}
+
+// Link binds a compiled specification to a bus at the given port base
+// addresses, yielding interpretive get/set stubs.
+func Link(spec *sema.Device, b bus.Bus, bases map[string]uint32, opts Options) (*exec.Device, error) {
+	return exec.Link(spec, b, bases, opts)
+}
+
+// MustCompile is Compile for specifications known to be valid (embedded
+// library specs, tests); it panics on error.
+func MustCompile(src []byte) *sema.Device {
+	spec, err := Compile(src)
+	if err != nil {
+		panic(err)
+	}
+	return spec
+}

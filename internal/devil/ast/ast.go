@@ -1,0 +1,579 @@
+// Package ast declares the abstract syntax tree of the Devil interface
+// definition language.
+//
+// A specification is a single Device declaration. A device is parameterized
+// by ports, declares registers over those ports, and exposes device
+// variables (possibly grouped in structures) defined over register bits.
+// The AST mirrors the concrete syntax closely; resolution and consistency
+// checking happen in package sema.
+package ast
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/devil/token"
+)
+
+// Node is implemented by every AST node and reports its source position.
+type Node interface {
+	Pos() token.Pos
+}
+
+// ---------------------------------------------------------------------------
+// Device and ports
+
+// Device is the root node: one device declaration with its port parameters
+// and body declarations, in source order.
+type Device struct {
+	NamePos token.Pos
+	Name    string
+	Params  []*PortParam
+	Decls   []Decl
+}
+
+// Pos implements Node.
+func (d *Device) Pos() token.Pos { return d.NamePos }
+
+// PortParam is a formal port parameter of a device declaration, e.g.
+// "base : bit[8] port @ {0..3}". Width is the access width in bits of the
+// port; Offsets is the set of valid offsets from the base address.
+type PortParam struct {
+	NamePos token.Pos
+	Name    string
+	Width   int
+	Offsets *IntSet
+}
+
+// Pos implements Node.
+func (p *PortParam) Pos() token.Pos { return p.NamePos }
+
+// IntSet is a literal set of integers written as a brace list of values and
+// ranges, e.g. {0..17, 25}. It is used for port offset ranges, register
+// parameter domains, and int{...} variable types.
+type IntSet struct {
+	LbracePos token.Pos
+	Ranges    []IntRange
+}
+
+// IntRange is one element of an IntSet: Lo..Hi inclusive (Lo == Hi for a
+// single value).
+type IntRange struct {
+	Lo, Hi int
+}
+
+// Pos implements Node.
+func (s *IntSet) Pos() token.Pos { return s.LbracePos }
+
+// Contains reports whether v is a member of the set.
+func (s *IntSet) Contains(v int) bool {
+	for _, r := range s.Ranges {
+		if v >= r.Lo && v <= r.Hi {
+			return true
+		}
+	}
+	return false
+}
+
+// Values enumerates the members in declaration order.
+func (s *IntSet) Values() []int {
+	var vs []int
+	for _, r := range s.Ranges {
+		for v := r.Lo; v <= r.Hi; v++ {
+			vs = append(vs, v)
+		}
+	}
+	return vs
+}
+
+// Min returns the smallest member. It panics on an empty set, which the
+// parser never produces.
+func (s *IntSet) Min() int {
+	m := s.Ranges[0].Lo
+	for _, r := range s.Ranges[1:] {
+		if r.Lo < m {
+			m = r.Lo
+		}
+	}
+	return m
+}
+
+// Max returns the largest member.
+func (s *IntSet) Max() int {
+	m := s.Ranges[0].Hi
+	for _, r := range s.Ranges[1:] {
+		if r.Hi > m {
+			m = r.Hi
+		}
+	}
+	return m
+}
+
+// String renders the set in source syntax.
+func (s *IntSet) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, r := range s.Ranges {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		if r.Lo == r.Hi {
+			fmt.Fprintf(&b, "%d", r.Lo)
+		} else {
+			fmt.Fprintf(&b, "%d..%d", r.Lo, r.Hi)
+		}
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// ---------------------------------------------------------------------------
+// Declarations
+
+// Decl is a declaration inside a device body: register, variable, or
+// structure.
+type Decl interface {
+	Node
+	DeclName() string
+}
+
+// ---------------------------------------------------------------------------
+// Registers
+
+// Access distinguishes read/write capabilities of a register port clause.
+type Access int
+
+// Access values. AccessRW applies when neither "read" nor "write" is
+// written, meaning the port is used for both directions.
+const (
+	AccessRW Access = iota
+	AccessRead
+	AccessWrite
+)
+
+// String returns "read", "write" or "" for the read-write default.
+func (a Access) String() string {
+	switch a {
+	case AccessRead:
+		return "read"
+	case AccessWrite:
+		return "write"
+	}
+	return ""
+}
+
+// PortRef is a use of a port parameter with a constant offset:
+// "base @ 1", or bare "data" (offset 0 over a single-offset port).
+type PortRef struct {
+	NamePos   token.Pos
+	Name      string // port parameter name
+	Offset    int
+	HasOffset bool // whether "@ offset" was written
+}
+
+// Pos implements Node.
+func (p *PortRef) Pos() token.Pos { return p.NamePos }
+
+// String renders the reference in source syntax.
+func (p *PortRef) String() string {
+	if !p.HasOffset {
+		return p.Name
+	}
+	return fmt.Sprintf("%s@%d", p.Name, p.Offset)
+}
+
+// PortClause couples a port reference with an access direction, e.g.
+// "write base @ 2". A register has one or two clauses.
+type PortClause struct {
+	Dir  Access
+	Port *PortRef
+}
+
+// Register declares a device register.
+//
+// Two forms exist:
+//
+//	register r        = [read|write] port[@off] [attrs] : bit[n];
+//	register r(i : D) = [read|write] port[@off] [attrs] : bit[n];   // parameterized
+//	register r2 = r(23) [attrs];                                    // instantiation
+//
+// For the instantiation form Base/BaseArg are set and Ports is empty; the
+// size and ports are inherited from the parameterized register.
+type Register struct {
+	NamePos token.Pos
+	Name    string
+
+	// Parameterization: register I(i : int{0..31}) = ...
+	Param       string  // formal parameter name, "" if none
+	ParamDomain *IntSet // domain of the parameter
+
+	// Instantiation: register I23 = I(23), ...
+	Base    string // name of the parameterized register, "" if none
+	BaseArg int    // the argument value
+
+	Ports []PortClause
+	Size  int // register width in bits; 0 for instantiations (inherited)
+
+	Mask *BitPattern // nil means all bits relevant
+	Pre  []*Action   // pre-actions establishing the access context
+	Post []*Action   // post-actions after the access
+	Set  []*Action   // state-cell updates triggered by any access
+}
+
+// Pos implements Node.
+func (r *Register) Pos() token.Pos { return r.NamePos }
+
+// DeclName implements Decl.
+func (r *Register) DeclName() string { return r.Name }
+
+// BitPattern is a quoted mask or value pattern. Chars[0] describes the most
+// significant bit. Valid characters:
+//
+//	'.'  relevant bit (must be covered by a device variable)
+//	'*'  irrelevant bit, ignored when read or written
+//	'-'  synonym of '*'
+//	'0'  irrelevant when read, forced to 0 when written
+//	'1'  irrelevant when read, forced to 1 when written
+//
+// In enumerated-type value patterns only '0', '1' and '.' (wildcard) occur.
+type BitPattern struct {
+	QuotePos token.Pos
+	Chars    string
+}
+
+// Pos implements Node.
+func (b *BitPattern) Pos() token.Pos { return b.QuotePos }
+
+// Len returns the number of bits described.
+func (b *BitPattern) Len() int { return len(b.Chars) }
+
+// String renders the pattern with quotes.
+func (b *BitPattern) String() string { return "'" + b.Chars + "'" }
+
+// ---------------------------------------------------------------------------
+// Actions
+
+// Action is an assignment executed around a register access, e.g. the
+// pre-action "index = 0" or the set-action "xm = false". The left side names
+// a device variable, private cell, or register parameter target; the right
+// side is an Expr.
+type Action struct {
+	TargetPos token.Pos
+	Target    string
+	Value     Expr
+}
+
+// Pos implements Node.
+func (a *Action) Pos() token.Pos { return a.TargetPos }
+
+// Expr is the value side of an action or the operand of a serialization
+// guard. Concrete types: *IntLit, *BoolLit, *AnyLit, *Ref, *StructLit.
+type Expr interface{ Node }
+
+// IntLit is an integer literal expression.
+type IntLit struct {
+	LitPos token.Pos
+	Value  int
+}
+
+// Pos implements Node.
+func (e *IntLit) Pos() token.Pos { return e.LitPos }
+
+// BoolLit is "true" or "false".
+type BoolLit struct {
+	LitPos token.Pos
+	Value  bool
+}
+
+// Pos implements Node.
+func (e *BoolLit) Pos() token.Pos { return e.LitPos }
+
+// AnyLit is the wildcard '*', meaning "write any value" (used to pulse
+// registers whose written value is ignored, such as the 8237A flip-flop).
+type AnyLit struct {
+	StarPos token.Pos
+}
+
+// Pos implements Node.
+func (e *AnyLit) Pos() token.Pos { return e.StarPos }
+
+// Ref names a variable, private cell, enum symbol, or register parameter.
+type Ref struct {
+	NamePos token.Pos
+	Name    string
+}
+
+// Pos implements Node.
+func (e *Ref) Pos() token.Pos { return e.NamePos }
+
+// StructLit assigns several fields of a structure at once, e.g.
+// "XS = {XA => j; XRAE => true}".
+type StructLit struct {
+	LbracePos token.Pos
+	Fields    []StructField
+}
+
+// StructField is one "name => expr" element of a StructLit.
+type StructField struct {
+	NamePos token.Pos
+	Name    string
+	Value   Expr
+}
+
+// Pos implements Node.
+func (e *StructLit) Pos() token.Pos { return e.LbracePos }
+
+// ---------------------------------------------------------------------------
+// Variables
+
+// Variable declares a device variable (or, inside a structure, a field).
+//
+// Forms:
+//
+//	variable v = def, attrs : type [serialized as {...}];
+//	private variable v = def ... ;   // hidden from the public interface
+//	private variable v : bool;       // unmapped memory cell
+//	variable v(j : D) = R(j) : type; // parameterized over a register family
+type Variable struct {
+	NamePos token.Pos
+	Name    string
+	Private bool
+
+	// Parameterization over a register family.
+	Param       string
+	ParamDomain *IntSet
+
+	Chunks []*Chunk // nil for unmapped memory cells
+
+	Volatile bool
+	Trigger  *TriggerAttr // nil when idempotent
+	Block    bool
+
+	Set []*Action // cell updates on access, e.g. "set {xm = XRAE}"
+
+	Type Type
+
+	// Serialized is the explicit register access order, with optional
+	// guards; nil means default order (chunk order, LSB-significance last).
+	Serialized []*SerItem
+}
+
+// Pos implements Node.
+func (v *Variable) Pos() token.Pos { return v.NamePos }
+
+// DeclName implements Decl.
+func (v *Variable) DeclName() string { return v.Name }
+
+// IsCell reports whether the variable is an unmapped private memory cell.
+func (v *Variable) IsCell() bool { return len(v.Chunks) == 0 }
+
+// Chunk is one register fragment of a variable definition. Chunks are
+// written MSB-first and joined with '#':
+//
+//	x_high[3..0] # x_low[3..0]
+//
+// Bits lists the referenced register bits MSB-first within the chunk, e.g.
+// [3..0] is [3 2 1 0] and [2,7..4] is [2 7 6 5 4]. An empty Bits means the
+// whole register. Arg carries the instantiation argument when the chunk
+// names a parameterized register family with the variable's own parameter
+// or a constant.
+type Chunk struct {
+	RegPos token.Pos
+	Reg    string
+	Bits   []int // MSB-first; empty = whole register
+
+	// Register family application: Reg(ArgRef) or Reg(ArgVal).
+	HasArg bool
+	ArgRef string // parameter name, "" when ArgVal is used
+	ArgVal int
+}
+
+// Pos implements Node.
+func (c *Chunk) Pos() token.Pos { return c.RegPos }
+
+// TriggerAttr captures "read trigger", "write trigger except SYM",
+// "trigger for VALUE", etc.
+type TriggerAttr struct {
+	AttrPos token.Pos
+	Dir     Access // AccessRW when bare "trigger"
+	Except  string // neutral enum symbol, "" if none
+	For     Expr   // only this value triggers; nil if all values do
+}
+
+// Pos implements Node.
+func (t *TriggerAttr) Pos() token.Pos { return t.AttrPos }
+
+// SerItem is one element of a "serialized as { ... }" list: a register name
+// with an optional guard "if (var == value) reg;".
+type SerItem struct {
+	RegPos token.Pos
+	Reg    string
+	Guard  *Guard // nil when unconditional
+}
+
+// Pos implements Node.
+func (s *SerItem) Pos() token.Pos { return s.RegPos }
+
+// Guard is the condition of a guarded serialization item.
+type Guard struct {
+	IfPos token.Pos
+	Var   string
+	Neg   bool // true for !=
+	Value Expr
+}
+
+// Pos implements Node.
+func (g *Guard) Pos() token.Pos { return g.IfPos }
+
+// ---------------------------------------------------------------------------
+// Types
+
+// Type is a device-variable type. Concrete types: *IntType, *BoolType,
+// *IntSetType, *EnumType.
+type Type interface {
+	Node
+	// BitWidth returns the number of bits of the concrete representation,
+	// or -1 when the width is not syntactically determined (IntSetType
+	// widths depend on the variable definition).
+	BitWidth() int
+	String() string
+}
+
+// IntType is "int(n)" or "signed int(n)".
+type IntType struct {
+	TypePos token.Pos
+	Bits    int
+	Signed  bool
+}
+
+// Pos implements Node.
+func (t *IntType) Pos() token.Pos { return t.TypePos }
+
+// BitWidth implements Type.
+func (t *IntType) BitWidth() int { return t.Bits }
+
+// String renders the type in source syntax.
+func (t *IntType) String() string {
+	if t.Signed {
+		return fmt.Sprintf("signed int(%d)", t.Bits)
+	}
+	return fmt.Sprintf("int(%d)", t.Bits)
+}
+
+// BoolType is "bool" (one bit; '1' is true).
+type BoolType struct {
+	TypePos token.Pos
+}
+
+// Pos implements Node.
+func (t *BoolType) Pos() token.Pos { return t.TypePos }
+
+// BitWidth implements Type.
+func (t *BoolType) BitWidth() int { return 1 }
+
+// String renders the type in source syntax.
+func (t *BoolType) String() string { return "bool" }
+
+// IntSetType is "int{0..31}" — an unsigned integer constrained to a value
+// set. Its representation width is the width of the variable definition.
+type IntSetType struct {
+	TypePos token.Pos
+	Set     *IntSet
+}
+
+// Pos implements Node.
+func (t *IntSetType) Pos() token.Pos { return t.TypePos }
+
+// BitWidth implements Type.
+func (t *IntSetType) BitWidth() int { return -1 }
+
+// String renders the type in source syntax.
+func (t *IntSetType) String() string { return "int" + t.Set.String() }
+
+// EnumType is an inline enumerated type:
+//
+//	{ CONFIGURATION => '1', DEFAULT_MODE => '0' }
+//
+// The direction token states whether the symbol may be written (=>), must
+// be recognized when read (<=), or both (<=>).
+type EnumType struct {
+	LbracePos token.Pos
+	Items     []*EnumItem
+}
+
+// EnumItem is one symbol of an enumerated type.
+type EnumItem struct {
+	NamePos token.Pos
+	Name    string
+	Dir     EnumDir
+	Pattern *BitPattern
+}
+
+// EnumDir is the mapping direction of an enum symbol.
+type EnumDir int
+
+// Enum mapping directions.
+const (
+	EnumWrite EnumDir = iota // =>
+	EnumRead                 // <=
+	EnumRW                   // <=>
+)
+
+// String renders the direction arrow.
+func (d EnumDir) String() string {
+	switch d {
+	case EnumWrite:
+		return "=>"
+	case EnumRead:
+		return "<="
+	}
+	return "<=>"
+}
+
+// Pos implements Node.
+func (t *EnumType) Pos() token.Pos { return t.LbracePos }
+
+// BitWidth implements Type. All patterns share one width, enforced by sema;
+// the syntactic width is that of the first item.
+func (t *EnumType) BitWidth() int {
+	if len(t.Items) == 0 {
+		return -1
+	}
+	return t.Items[0].Pattern.Len()
+}
+
+// String renders the type in source syntax.
+func (t *EnumType) String() string {
+	var b strings.Builder
+	b.WriteString("{ ")
+	for i, it := range t.Items {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%s %s %s", it.Name, it.Dir, it.Pattern)
+	}
+	b.WriteString(" }")
+	return b.String()
+}
+
+// ---------------------------------------------------------------------------
+// Structures
+
+// Structure groups variables that must be accessed together (a consistent
+// snapshot for volatile reads, or an ordered initialization sequence for
+// writes).
+type Structure struct {
+	NamePos token.Pos
+	Name    string
+	Private bool
+	Fields  []*Variable
+
+	// Serialized fixes the register access order with optional guards.
+	Serialized []*SerItem
+}
+
+// Pos implements Node.
+func (s *Structure) Pos() token.Pos { return s.NamePos }
+
+// DeclName implements Decl.
+func (s *Structure) DeclName() string { return s.Name }

@@ -1,0 +1,109 @@
+package codegen
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/specs"
+)
+
+func TestGoName(t *testing.T) {
+	tests := []struct {
+		in       string
+		exported bool
+		want     string
+	}{
+		{"logitech_busmouse", true, "LogitechBusmouse"},
+		{"dx", true, "Dx"},
+		{"mouse_state", true, "MouseState"},
+		{"index", false, "index"},
+		{"x_high", false, "xHigh"},
+		{"ide_data", true, "IdeData"},
+		{"type", false, "type_"},
+		{"IA", true, "IA"},
+	}
+	for _, tt := range tests {
+		if got := goName(tt.in, tt.exported); got != tt.want {
+			t.Errorf("goName(%q,%v) = %q, want %q", tt.in, tt.exported, got, tt.want)
+		}
+	}
+}
+
+func TestSymName(t *testing.T) {
+	if got := symName("config", "DEFAULT_MODE"); got != "ConfigDEFAULTMODE" {
+		t.Errorf("symName = %q", got)
+	}
+}
+
+func TestChunkRuns(t *testing.T) {
+	// [3 2 1 0] with value MSB 3: one run.
+	runs := chunkRuns([]int{3, 2, 1, 0}, 3)
+	if len(runs) != 1 || runs[0] != (bitRun{vLo: 0, rLo: 0, n: 4}) {
+		t.Errorf("runs = %+v", runs)
+	}
+	// XA pattern [2 7 6 5 4]: two runs, value width 5 (MSB=4).
+	runs = chunkRuns([]int{2, 7, 6, 5, 4}, 4)
+	if len(runs) != 2 {
+		t.Fatalf("runs = %+v", runs)
+	}
+	if runs[0] != (bitRun{vLo: 4, rLo: 2, n: 1}) {
+		t.Errorf("run 0 = %+v", runs[0])
+	}
+	if runs[1] != (bitRun{vLo: 0, rLo: 4, n: 4}) {
+		t.Errorf("run 1 = %+v", runs[1])
+	}
+	// Non-contiguous single bits [7 5 3]: three runs.
+	runs = chunkRuns([]int{7, 5, 3}, 2)
+	if len(runs) != 3 {
+		t.Errorf("runs = %+v", runs)
+	}
+}
+
+func TestGenerateBusmouseCompilesIdempotently(t *testing.T) {
+	spec := core.MustCompile(specs.Busmouse)
+	a, err := Generate(spec, Options{Package: "busmouse"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(spec, Options{Package: "busmouse"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != string(b) {
+		t.Error("generation is not deterministic")
+	}
+	for _, want := range []string{
+		"func (d *Device) Dx() int8",
+		"func (d *Device) ReadMouseState()",
+		"func (d *Device) SetConfig(v ConfigVal)",
+		"out = out&0x1 | 0x90",  // cr forced bits 1001000.
+		"out = out&0x60 | 0x80", // index_reg forced bits 1..00000
+	} {
+		if !strings.Contains(string(a), want) {
+			t.Errorf("generated code missing %q", want)
+		}
+	}
+}
+
+func TestGenerateDebugVariant(t *testing.T) {
+	spec := core.MustCompile(specs.Busmouse)
+	code, err := Generate(spec, Options{Package: "busmouse", Debug: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(code), "const debug = true") {
+		t.Error("debug constant not set")
+	}
+}
+
+func TestGenerateDefaultsPackageName(t *testing.T) {
+	spec := core.MustCompile(specs.Busmouse)
+	code, err := Generate(spec, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(code), "package logitechbusmouse") {
+		t.Error("default package name not derived from device name")
+	}
+}

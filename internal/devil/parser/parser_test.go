@@ -1,0 +1,478 @@
+package parser
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/devil/ast"
+)
+
+// busmouseSrc is the complete Logitech Busmouse specification from Figure 1
+// of the paper (with the paper's attribute order, which puts pre-actions
+// before masks in lines 19-22, normalized to attribute-order-insensitive
+// syntax — our parser accepts attributes in any order).
+const busmouseSrc = `
+device logitech_busmouse (base : bit[8] port @ {0..3})
+{
+    // Signature register (SR)
+    register sig_reg = base @ 1 : bit[8];
+    variable signature = sig_reg, volatile, write trigger : int(8);
+
+    // Configuration register (CR)
+    register cr = write base @ 3, mask '1001000.' : bit[8];
+    variable config = cr[0] : { CONFIGURATION => '1', DEFAULT_MODE => '0' };
+
+    // Interrupt register
+    register interrupt_reg = write base @ 2, mask '000.0000' : bit[8];
+    variable interrupt = interrupt_reg[4] : { ENABLE => '0', DISABLE => '1' };
+
+    // Index register
+    register index_reg = write base @ 2, mask '1..00000' : bit[8];
+    private variable index = index_reg[6..5] : int(2);
+
+    register x_low  = read base @ 0, pre {index = 0}, mask '****....' : bit[8];
+    register x_high = read base @ 0, pre {index = 1}, mask '****....' : bit[8];
+    register y_low  = read base @ 0, pre {index = 2}, mask '****....' : bit[8];
+    register y_high = read base @ 0, pre {index = 3}, mask '...*....' : bit[8];
+
+    structure mouse_state = {
+        variable dx = x_high[3..0] # x_low[3..0], volatile : signed int(8);
+        variable dy = y_high[3..0] # y_low[3..0], volatile : signed int(8);
+        variable buttons = y_high[7..5], volatile : int(3);
+    };
+}
+`
+
+func mustParse(t *testing.T, src string) *ast.Device {
+	t.Helper()
+	dev, errs := Parse([]byte(src))
+	if errs.Err() != nil {
+		t.Fatalf("parse errors:\n%v", errs)
+	}
+	if dev == nil {
+		t.Fatal("nil device")
+	}
+	return dev
+}
+
+func TestBusmouseSpec(t *testing.T) {
+	dev := mustParse(t, busmouseSrc)
+	if dev.Name != "logitech_busmouse" {
+		t.Errorf("device name = %q", dev.Name)
+	}
+	if len(dev.Params) != 1 {
+		t.Fatalf("params = %d, want 1", len(dev.Params))
+	}
+	p := dev.Params[0]
+	if p.Name != "base" || p.Width != 8 {
+		t.Errorf("param = %s bit[%d]", p.Name, p.Width)
+	}
+	if got := p.Offsets.String(); got != "{0..3}" {
+		t.Errorf("offsets = %s", got)
+	}
+	if len(dev.Decls) != 13 {
+		t.Fatalf("decls = %d, want 13", len(dev.Decls))
+	}
+
+	// register sig_reg = base @ 1 : bit[8]
+	sig, ok := dev.Decls[0].(*ast.Register)
+	if !ok || sig.Name != "sig_reg" {
+		t.Fatalf("decl 0 = %#v", dev.Decls[0])
+	}
+	if sig.Size != 8 || len(sig.Ports) != 1 || sig.Ports[0].Dir != ast.AccessRW {
+		t.Errorf("sig_reg = %+v", sig)
+	}
+	if pr := sig.Ports[0].Port; pr.Name != "base" || pr.Offset != 1 || !pr.HasOffset {
+		t.Errorf("sig_reg port = %+v", pr)
+	}
+
+	// variable signature: volatile + write trigger
+	sv, ok := dev.Decls[1].(*ast.Variable)
+	if !ok || sv.Name != "signature" {
+		t.Fatalf("decl 1 = %#v", dev.Decls[1])
+	}
+	if !sv.Volatile || sv.Trigger == nil || sv.Trigger.Dir != ast.AccessWrite {
+		t.Errorf("signature attrs = %+v", sv)
+	}
+	it, ok := sv.Type.(*ast.IntType)
+	if !ok || it.Bits != 8 || it.Signed {
+		t.Errorf("signature type = %v", sv.Type)
+	}
+
+	// register cr: write-only with mask
+	cr := dev.Decls[2].(*ast.Register)
+	if cr.Ports[0].Dir != ast.AccessWrite || cr.Mask == nil || cr.Mask.Chars != "1001000." {
+		t.Errorf("cr = %+v", cr)
+	}
+
+	// variable config: enum type over bit 0
+	config := dev.Decls[3].(*ast.Variable)
+	et, ok := config.Type.(*ast.EnumType)
+	if !ok || len(et.Items) != 2 {
+		t.Fatalf("config type = %v", config.Type)
+	}
+	if et.Items[0].Name != "CONFIGURATION" || et.Items[0].Dir != ast.EnumWrite || et.Items[0].Pattern.Chars != "1" {
+		t.Errorf("config enum item 0 = %+v", et.Items[0])
+	}
+	if len(config.Chunks) != 1 || len(config.Chunks[0].Bits) != 1 || config.Chunks[0].Bits[0] != 0 {
+		t.Errorf("config chunks = %+v", config.Chunks)
+	}
+
+	// private variable index over bits 6..5
+	idx := dev.Decls[7].(*ast.Variable)
+	if !idx.Private {
+		t.Error("index should be private")
+	}
+	if b := idx.Chunks[0].Bits; len(b) != 2 || b[0] != 6 || b[1] != 5 {
+		t.Errorf("index bits = %v", b)
+	}
+
+	// x_low register has a pre-action
+	xlow := dev.Decls[8].(*ast.Register)
+	if len(xlow.Pre) != 1 || xlow.Pre[0].Target != "index" {
+		t.Fatalf("x_low pre = %+v", xlow.Pre)
+	}
+	if lit, ok := xlow.Pre[0].Value.(*ast.IntLit); !ok || lit.Value != 0 {
+		t.Errorf("x_low pre value = %#v", xlow.Pre[0].Value)
+	}
+
+	// structure mouse_state with three fields, dx concatenated from 2 chunks
+	ms, ok := dev.Decls[12].(*ast.Structure)
+	if !ok || ms.Name != "mouse_state" || len(ms.Fields) != 3 {
+		t.Fatalf("mouse_state = %#v", dev.Decls[11])
+	}
+	dx := ms.Fields[0]
+	if len(dx.Chunks) != 2 || dx.Chunks[0].Reg != "x_high" || dx.Chunks[1].Reg != "x_low" {
+		t.Errorf("dx chunks = %+v", dx.Chunks)
+	}
+	if st, ok := dx.Type.(*ast.IntType); !ok || !st.Signed || st.Bits != 8 {
+		t.Errorf("dx type = %v", dx.Type)
+	}
+	if !dx.Volatile {
+		t.Error("dx should be volatile")
+	}
+}
+
+func TestTriggerExceptAndSharedRegister(t *testing.T) {
+	// The NE2000 command-register fragment from section 2.1.
+	src := `
+device ne2000_fragment (base : bit[8] port @ {0..31})
+{
+    register cmd = base @ 0 : bit[8];
+    variable st = cmd[1..0], write trigger except NEUTRAL
+        : { NEUTRAL => '00', START => '10', STOP => '01' };
+    variable txp = cmd[2], write trigger except NOP : { NOP => '0', TRANSMIT => '1' };
+    variable rd = cmd[5..3], write trigger except NODMA
+        : { NODMA => '100', RREAD => '001', RWRITE => '010', SEND => '011' };
+    private variable page = cmd[7..6] : int(2);
+}
+`
+	dev := mustParse(t, src)
+	st := dev.Decls[1].(*ast.Variable)
+	if st.Trigger == nil || st.Trigger.Except != "NEUTRAL" || st.Trigger.Dir != ast.AccessWrite {
+		t.Errorf("st trigger = %+v", st.Trigger)
+	}
+	page := dev.Decls[4].(*ast.Variable)
+	if !page.Private || page.Trigger != nil {
+		t.Errorf("page = %+v", page)
+	}
+}
+
+func TestRegisterSerialization(t *testing.T) {
+	// The 8237A DMA counter fragment from section 2.2.
+	src := `
+device dma_fragment (data : bit[8] port, ff : bit[8] port)
+{
+    register flip_reg = write ff : bit[8];
+    private variable flip_flop = flip_reg[0], write trigger : int(1);
+    register cnt_low = data, pre {flip_flop = *}, mask '........' : bit[8];
+    register cnt_high = data : bit[8];
+    variable x = cnt_high # cnt_low : int(16)
+        serialized as {cnt_low; cnt_high};
+}
+`
+	dev := mustParse(t, src)
+	x := dev.Decls[4].(*ast.Variable)
+	if len(x.Serialized) != 2 || x.Serialized[0].Reg != "cnt_low" || x.Serialized[1].Reg != "cnt_high" {
+		t.Errorf("serialized = %+v", x.Serialized)
+	}
+	cl := dev.Decls[2].(*ast.Register)
+	if len(cl.Pre) != 1 {
+		t.Fatalf("cnt_low pre = %+v", cl.Pre)
+	}
+	if _, ok := cl.Pre[0].Value.(*ast.AnyLit); !ok {
+		t.Errorf("cnt_low pre value = %#v, want AnyLit", cl.Pre[0].Value)
+	}
+	// Bare port name (no @): offset 0, HasOffset false.
+	if pr := cl.Ports[0].Port; pr.HasOffset || pr.Name != "data" {
+		t.Errorf("cnt_low port = %+v", pr)
+	}
+}
+
+func TestControlFlowSerialization(t *testing.T) {
+	// The 8259A initialization fragment from section 2.2.
+	src := `
+device pic_fragment (base : bit[8] port @ {0..1})
+{
+    register icw1 = write base @ 0, mask '...1....' : bit[8];
+    register icw2 = write base @ 1 : bit[8];
+    register icw3 = write base @ 1 : bit[8];
+    register icw4 = write base @ 1, mask '000.....' : bit[8];
+
+    structure init = {
+        variable sngl = icw1[1] : { SINGLE => '1', CASCADED => '0' };
+        variable ic4 = icw1[0] : bool;
+        variable microprocessor = icw4[0] : { X8086 => '1', MCS80_85 => '0' };
+    } serialized as {
+        icw1;
+        icw2;
+        if (sngl == CASCADED) icw3;
+        if (ic4 == true) icw4;
+    };
+}
+`
+	dev := mustParse(t, src)
+	init := dev.Decls[4].(*ast.Structure)
+	if len(init.Serialized) != 4 {
+		t.Fatalf("serialized items = %d", len(init.Serialized))
+	}
+	g2 := init.Serialized[2].Guard
+	if g2 == nil || g2.Var != "sngl" || g2.Neg {
+		t.Fatalf("guard 2 = %+v", g2)
+	}
+	if ref, ok := g2.Value.(*ast.Ref); !ok || ref.Name != "CASCADED" {
+		t.Errorf("guard 2 value = %#v", g2.Value)
+	}
+	g3 := init.Serialized[3].Guard
+	if b, ok := g3.Value.(*ast.BoolLit); !ok || !b.Value {
+		t.Errorf("guard 3 value = %#v", g3.Value)
+	}
+}
+
+func TestAutomataAddressing(t *testing.T) {
+	// The CS4236B fragment from section 2.2: private cells, set-actions,
+	// parameterized registers, instantiation, structure-literal pre-action.
+	src := `
+device cs_fragment (base : bit[8] port @ {0..1})
+{
+    private variable xm : bool;
+    register control = base @ 0, set {xm = false} : bit[8];
+    variable IA = control : int{0..31};
+
+    register I (i : int{0..31}) = base @ 1, pre {IA = i} : bit[8];
+    register I23 = I(23), mask '......0.';
+
+    variable ACF = I23[0] : bool;
+    structure XS = {
+        variable XA = I23[2, 7..4] : int(5);
+        variable XRAE = I23[3], set {xm = XRAE}, write trigger for true : bool;
+    };
+
+    register X (j : int{0..17, 25}) = base @ 1,
+        pre {XS = {XA => j; XRAE => true}} : bit[8];
+    variable ext (j : int{0..17, 25}) = X(j) : int(8);
+}
+`
+	dev := mustParse(t, src)
+
+	xm := dev.Decls[0].(*ast.Variable)
+	if !xm.IsCell() || !xm.Private {
+		t.Errorf("xm = %+v", xm)
+	}
+
+	control := dev.Decls[1].(*ast.Register)
+	if len(control.Set) != 1 || control.Set[0].Target != "xm" {
+		t.Errorf("control set = %+v", control.Set)
+	}
+
+	ia := dev.Decls[2].(*ast.Variable)
+	ist, ok := ia.Type.(*ast.IntSetType)
+	if !ok || !ist.Set.Contains(31) || ist.Set.Contains(32) {
+		t.Errorf("IA type = %v", ia.Type)
+	}
+	if len(ia.Chunks) != 1 || ia.Chunks[0].Bits != nil {
+		t.Errorf("IA chunks = %+v (want whole register)", ia.Chunks)
+	}
+
+	ireg := dev.Decls[3].(*ast.Register)
+	if ireg.Param != "i" || ireg.ParamDomain == nil || !ireg.ParamDomain.Contains(31) {
+		t.Errorf("I = %+v", ireg)
+	}
+
+	i23 := dev.Decls[4].(*ast.Register)
+	if i23.Base != "I" || i23.BaseArg != 23 || i23.Mask.Chars != "......0." {
+		t.Errorf("I23 = %+v", i23)
+	}
+
+	xs := dev.Decls[6].(*ast.Structure)
+	xa := xs.Fields[0]
+	if b := xa.Chunks[0].Bits; len(b) != 5 || b[0] != 2 || b[1] != 7 || b[4] != 4 {
+		t.Errorf("XA bits = %v", b)
+	}
+	xrae := xs.Fields[1]
+	if xrae.Trigger == nil || xrae.Trigger.For == nil {
+		t.Fatalf("XRAE trigger = %+v", xrae.Trigger)
+	}
+	if b, ok := xrae.Trigger.For.(*ast.BoolLit); !ok || !b.Value {
+		t.Errorf("XRAE trigger for = %#v", xrae.Trigger.For)
+	}
+
+	xreg := dev.Decls[7].(*ast.Register)
+	if len(xreg.Pre) != 1 {
+		t.Fatalf("X pre = %+v", xreg.Pre)
+	}
+	sl, ok := xreg.Pre[0].Value.(*ast.StructLit)
+	if !ok || len(sl.Fields) != 2 || sl.Fields[0].Name != "XA" {
+		t.Fatalf("X pre value = %#v", xreg.Pre[0].Value)
+	}
+	if ref, ok := sl.Fields[0].Value.(*ast.Ref); !ok || ref.Name != "j" {
+		t.Errorf("XA field value = %#v", sl.Fields[0].Value)
+	}
+	if xreg.ParamDomain == nil || !xreg.ParamDomain.Contains(25) || xreg.ParamDomain.Contains(24) {
+		t.Errorf("X domain = %v", xreg.ParamDomain)
+	}
+
+	ext := dev.Decls[8].(*ast.Variable)
+	if ext.Param != "j" || !ext.Chunks[0].HasArg || ext.Chunks[0].ArgRef != "j" {
+		t.Errorf("ext = %+v chunks=%+v", ext, ext.Chunks[0])
+	}
+}
+
+func TestBlockAttribute(t *testing.T) {
+	src := `
+device ide_fragment (io : bit[16] port @ {0..7})
+{
+    register ide_data = io @ 0 : bit[16];
+    variable Ide_data = ide_data, trigger, volatile, block : int(16);
+}
+`
+	dev := mustParse(t, src)
+	v := dev.Decls[1].(*ast.Variable)
+	if !v.Block || !v.Volatile || v.Trigger == nil || v.Trigger.Dir != ast.AccessRW {
+		t.Errorf("Ide_data = %+v trigger=%+v", v, v.Trigger)
+	}
+}
+
+func TestDualPortRegister(t *testing.T) {
+	src := `
+device dual (a : bit[8] port @ {0..1})
+{
+    register r = read a @ 0 write a @ 1 : bit[8];
+    variable v = r : int(8);
+}
+`
+	dev := mustParse(t, src)
+	r := dev.Decls[0].(*ast.Register)
+	if len(r.Ports) != 2 {
+		t.Fatalf("ports = %+v", r.Ports)
+	}
+	if r.Ports[0].Dir != ast.AccessRead || r.Ports[1].Dir != ast.AccessWrite {
+		t.Errorf("dirs = %v %v", r.Ports[0].Dir, r.Ports[1].Dir)
+	}
+	if r.Ports[1].Port.Offset != 1 {
+		t.Errorf("write offset = %d", r.Ports[1].Port.Offset)
+	}
+}
+
+func TestMultiplePortParams(t *testing.T) {
+	src := `
+device multi (a : bit[8] port @ {0..3}, b : bit[16] port, c : bit[32] port @ {0, 4, 8..12})
+{
+    register r = a @ 0 : bit[8];
+    variable v = r : int(8);
+}
+`
+	dev := mustParse(t, src)
+	if len(dev.Params) != 3 {
+		t.Fatalf("params = %d", len(dev.Params))
+	}
+	if dev.Params[1].Offsets.String() != "{0}" {
+		t.Errorf("b offsets = %s", dev.Params[1].Offsets)
+	}
+	got := dev.Params[2].Offsets
+	if got.String() != "{0, 4, 8..12}" {
+		t.Errorf("c offsets = %s", got)
+	}
+	if got.Min() != 0 || got.Max() != 12 {
+		t.Errorf("min/max = %d/%d", got.Min(), got.Max())
+	}
+	if vals := got.Values(); len(vals) != 7 {
+		t.Errorf("values = %v", vals)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	tests := []struct {
+		name, src, wantSub string
+	}{
+		{"missing device", "register r = a @ 0 : bit[8];", "expected \"device\""},
+		{"private register", "device d (a : bit[8] port) { private register r = a : bit[8]; }", "registers cannot be private"},
+		{"bad decl", "device d (a : bit[8] port) { frobnicate; }", "expected register, variable, or structure"},
+		{"missing semicolon", "device d (a : bit[8] port) { register r = a : bit[8] }", "expected \";\""},
+		{"bad bit range order", "device d (a : bit[8] port) { register r = a : bit[8]; variable v = r[0..3] : int(4); }", "high..low"},
+		{"bad enum dir", "device d (a : bit[8] port) { register r = a : bit[8]; variable v = r : { A == '1' }; }", "expected =>"},
+		{"empty range", "device d (a : bit[8] port @ {3..1}) { register r = a : bit[8]; }", "empty range"},
+		{"duplicate mask", "device d (a : bit[8] port) { register r = a, mask '........', mask '........' : bit[8]; }", "duplicate mask"},
+		{"duplicate trigger", "device d (a : bit[8] port) { register r = a : bit[8]; variable v = r, trigger, trigger : int(8); }", "duplicate trigger"},
+		{"trailing garbage", "device d (a : bit[8] port) { register r = a : bit[8]; variable v = r : int(8); } extra", "after device body"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, errs := Parse([]byte(tt.src))
+			if errs.Err() == nil {
+				t.Fatalf("expected error containing %q, got none", tt.wantSub)
+			}
+			if !strings.Contains(errs.Error(), tt.wantSub) {
+				t.Errorf("errors %q do not contain %q", errs.Error(), tt.wantSub)
+			}
+		})
+	}
+}
+
+func TestErrorRecoveryContinues(t *testing.T) {
+	// The parser must recover after a bad declaration and still parse the
+	// following ones.
+	src := `
+device d (a : bit[8] port @ {0..1})
+{
+    register r1 = a @ ; : bit[8];
+    register r2 = a @ 1 : bit[8];
+    variable v = r2 : int(8);
+}
+`
+	dev, errs := Parse([]byte(src))
+	if errs.Err() == nil {
+		t.Fatal("expected errors")
+	}
+	if dev == nil {
+		t.Fatal("device should still be returned")
+	}
+	var names []string
+	for _, d := range dev.Decls {
+		names = append(names, d.DeclName())
+	}
+	joined := strings.Join(names, ",")
+	if !strings.Contains(joined, "r2") || !strings.Contains(joined, "v") {
+		t.Errorf("recovered decls = %v", names)
+	}
+}
+
+func TestVariableSetActionAndPost(t *testing.T) {
+	src := `
+device d (a : bit[8] port @ {0..1})
+{
+    private variable cell : bool;
+    register r = a @ 0, post {cell = true} : bit[8];
+    variable v = r, set {cell = false} : int(8);
+}
+`
+	dev := mustParse(t, src)
+	r := dev.Decls[1].(*ast.Register)
+	if len(r.Post) != 1 || r.Post[0].Target != "cell" {
+		t.Errorf("post = %+v", r.Post)
+	}
+	v := dev.Decls[2].(*ast.Variable)
+	if len(v.Set) != 1 || v.Set[0].Target != "cell" {
+		t.Errorf("set = %+v", v.Set)
+	}
+}

@@ -1,0 +1,181 @@
+package scanner
+
+import (
+	"testing"
+
+	"repro/internal/devil/token"
+)
+
+func kinds(t *testing.T, src string) []token.Kind {
+	t.Helper()
+	toks, errs := ScanAll([]byte(src))
+	if errs.Err() != nil {
+		t.Fatalf("scan %q: %v", src, errs)
+	}
+	var ks []token.Kind
+	for _, tok := range toks {
+		ks = append(ks, tok.Kind)
+	}
+	return ks
+}
+
+func TestOperators(t *testing.T) {
+	tests := []struct {
+		src  string
+		want []token.Kind
+	}{
+		{"@ # , ; :", []token.Kind{token.AT, token.HASH, token.COMMA, token.SEMICOLON, token.COLON, token.EOF}},
+		{"{ } [ ] ( )", []token.Kind{token.LBRACE, token.RBRACE, token.LBRACKET, token.RBRACKET, token.LPAREN, token.RPAREN, token.EOF}},
+		{"= == => <= <=> != .. *", []token.Kind{token.ASSIGN, token.EQ, token.WRITEMAP, token.READMAP, token.RWMAP, token.NEQ, token.DOTDOT, token.STAR, token.EOF}},
+	}
+	for _, tt := range tests {
+		got := kinds(t, tt.src)
+		if len(got) != len(tt.want) {
+			t.Fatalf("%q: got %v, want %v", tt.src, got, tt.want)
+		}
+		for i := range got {
+			if got[i] != tt.want[i] {
+				t.Errorf("%q token %d: got %v, want %v", tt.src, i, got[i], tt.want[i])
+			}
+		}
+	}
+}
+
+func TestKeywordsAndIdents(t *testing.T) {
+	toks, errs := ScanAll([]byte("device register variable structure foo_bar Bar9 trigger"))
+	if errs.Err() != nil {
+		t.Fatal(errs)
+	}
+	want := []token.Kind{token.DEVICE, token.REGISTER, token.VARIABLE, token.STRUCTURE, token.IDENT, token.IDENT, token.TRIGGER, token.EOF}
+	for i, k := range want {
+		if toks[i].Kind != k {
+			t.Errorf("token %d: got %v, want %v", i, toks[i].Kind, k)
+		}
+	}
+	if toks[4].Lit != "foo_bar" || toks[5].Lit != "Bar9" {
+		t.Errorf("identifier literals wrong: %v %v", toks[4], toks[5])
+	}
+}
+
+func TestNumbers(t *testing.T) {
+	toks, errs := ScanAll([]byte("0 8 127 0x23c 0XFF"))
+	if errs.Err() != nil {
+		t.Fatal(errs)
+	}
+	wantLits := []string{"0", "8", "127", "0x23c", "0XFF"}
+	for i, w := range wantLits {
+		if toks[i].Kind != token.INT || toks[i].Lit != w {
+			t.Errorf("token %d: got %v, want INT(%q)", i, toks[i], w)
+		}
+	}
+}
+
+func TestMalformedNumber(t *testing.T) {
+	toks, errs := ScanAll([]byte("12ab"))
+	if errs.Err() == nil {
+		t.Fatal("expected error for malformed number")
+	}
+	if toks[0].Kind != token.ILLEGAL {
+		t.Fatalf("got %v, want ILLEGAL", toks[0])
+	}
+}
+
+func TestBitPatterns(t *testing.T) {
+	for _, pat := range []string{"1001000.", "000.0000", "****....", "......0.", "1..00000", "-", "1", "0"} {
+		toks, errs := ScanAll([]byte("'" + pat + "'"))
+		if errs.Err() != nil {
+			t.Fatalf("pattern %q: %v", pat, errs)
+		}
+		if toks[0].Kind != token.BITS || toks[0].Lit != pat {
+			t.Errorf("pattern %q: got %v", pat, toks[0])
+		}
+	}
+}
+
+func TestBadBitPatterns(t *testing.T) {
+	for _, src := range []string{"'12x'", "''", "'101"} {
+		_, errs := ScanAll([]byte(src))
+		if errs.Err() == nil {
+			t.Errorf("source %q: expected error", src)
+		}
+	}
+}
+
+func TestComments(t *testing.T) {
+	src := "// line comment\nregister /* inline */ foo"
+	toks, errs := ScanAll([]byte(src))
+	if errs.Err() != nil {
+		t.Fatal(errs)
+	}
+	want := []token.Kind{token.REGISTER, token.IDENT, token.EOF}
+	for i, k := range want {
+		if toks[i].Kind != k {
+			t.Errorf("token %d: got %v, want %v", i, toks[i].Kind, k)
+		}
+	}
+}
+
+func TestCommentTokensPreserved(t *testing.T) {
+	s := New([]byte("// hello\nx"))
+	c := s.NextWithComments()
+	if c.Kind != token.COMMENT || c.Lit != "// hello" {
+		t.Fatalf("got %v, want COMMENT(// hello)", c)
+	}
+	if id := s.NextWithComments(); id.Kind != token.IDENT {
+		t.Fatalf("got %v, want IDENT", id)
+	}
+}
+
+func TestUnterminatedBlockComment(t *testing.T) {
+	_, errs := ScanAll([]byte("/* never ends"))
+	if errs.Err() == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestPositions(t *testing.T) {
+	toks, errs := ScanAll([]byte("a\n  bb\n"))
+	if errs.Err() != nil {
+		t.Fatal(errs)
+	}
+	if p := toks[0].Pos; p.Line != 1 || p.Column != 1 {
+		t.Errorf("token a at %v, want 1:1", p)
+	}
+	if p := toks[1].Pos; p.Line != 2 || p.Column != 3 {
+		t.Errorf("token bb at %v, want 2:3", p)
+	}
+}
+
+func TestEOFIsSticky(t *testing.T) {
+	s := New(nil)
+	for i := 0; i < 3; i++ {
+		if tok := s.Next(); tok.Kind != token.EOF {
+			t.Fatalf("call %d: got %v, want EOF", i, tok)
+		}
+	}
+}
+
+func TestUnexpectedCharacter(t *testing.T) {
+	toks, errs := ScanAll([]byte("$"))
+	if errs.Err() == nil {
+		t.Fatal("expected error")
+	}
+	if toks[0].Kind != token.ILLEGAL {
+		t.Fatalf("got %v, want ILLEGAL", toks[0])
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if token.WRITEMAP.String() != "=>" {
+		t.Errorf("WRITEMAP = %q", token.WRITEMAP.String())
+	}
+	if !token.DEVICE.IsKeyword() {
+		t.Error("DEVICE should be a keyword")
+	}
+	if token.AT.IsKeyword() {
+		t.Error("AT should not be a keyword")
+	}
+	if !token.BITS.IsLiteral() {
+		t.Error("BITS should be a literal")
+	}
+}

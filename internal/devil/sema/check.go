@@ -1,0 +1,504 @@
+package sema
+
+import (
+	"fmt"
+
+	"repro/internal/devil/ast"
+	"repro/internal/devil/scanner"
+)
+
+// check runs the §3.1 consistency properties over a resolved device. It
+// assumes resolution succeeded (no unresolved references remain).
+func check(d *Device, errs *scanner.ErrorList) {
+	c := &checker{dev: d, errs: errs}
+	c.checkCoverageAndOverlap()
+	c.checkPortUsage()
+	c.checkRegisterUsage()
+	c.checkPrivateUsage()
+	c.checkEnumDirections()
+	c.checkTriggers()
+	c.checkBlocks()
+	c.checkActionCycles()
+	c.checkGuardOrder()
+}
+
+type checker struct {
+	dev  *Device
+	errs *scanner.ErrorList
+}
+
+// ---------------------------------------------------------------------------
+// Bit coverage: every relevant register bit belongs to exactly one variable;
+// no variable touches an irrelevant or forced bit.
+
+func (c *checker) checkCoverageAndOverlap() {
+	owner := map[*Register][]*Variable{}
+	for _, reg := range c.dev.Registers {
+		owner[reg] = make([]*Variable, reg.Size)
+	}
+	for _, v := range c.dev.Variables {
+		for _, ch := range v.Chunks {
+			slots := owner[ch.Reg]
+			for _, b := range ch.Bits {
+				if b < 0 || b >= len(slots) {
+					continue // already diagnosed during resolution
+				}
+				switch ch.Reg.Mask[b] {
+				case BitIrrelevant:
+					c.errs.Add(v.Pos, "variable %s uses bit %d of register %s, which the mask declares irrelevant",
+						v.Name, b, ch.Reg.Name)
+				case BitForce0, BitForce1:
+					c.errs.Add(v.Pos, "variable %s uses bit %d of register %s, which the mask forces on writes",
+						v.Name, b, ch.Reg.Name)
+				}
+				if prev := slots[b]; prev != nil && prev != v {
+					c.errs.Add(v.Pos, "bit %d of register %s belongs to both %s and %s",
+						b, ch.Reg.Name, prev.Name, v.Name)
+				}
+				slots[b] = v
+			}
+		}
+	}
+	// Omission: relevant bits with no owner. Families with instantiations
+	// delegate coverage to the instantiations.
+	instantiated := map[*Register]bool{}
+	for _, reg := range c.dev.Registers {
+		if reg.Base != nil {
+			instantiated[reg.Base] = true
+		}
+	}
+	for _, reg := range c.dev.Registers {
+		if reg.IsFamily() && instantiated[reg] {
+			continue
+		}
+		for b, m := range reg.Mask {
+			if m == BitRelevant && owner[reg][b] == nil {
+				c.errs.Add(reg.Pos, "bit %d of register %s is relevant but belongs to no variable (mask it irrelevant or define a variable)",
+					b, reg.Name)
+			}
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Ports: every parameter and every declared offset must be used; a
+// (port, offset, direction) slot may be claimed by at most one register
+// unless the claimants are distinguished by pre-actions, disjoint masks, or
+// a shared serialization order.
+
+func (c *checker) checkPortUsage() {
+	type slot struct {
+		port   *Port
+		offset int
+		write  bool
+	}
+	claims := map[slot][]*Register{}
+	usedPort := map[*Port]bool{}
+	usedOffset := map[*Port]map[int]bool{}
+	for _, p := range c.dev.Ports {
+		usedOffset[p] = map[int]bool{}
+	}
+
+	for _, reg := range c.dev.Registers {
+		if reg.Base != nil {
+			continue // instantiations alias their family's slots
+		}
+		if u := reg.Read; u != nil {
+			usedPort[u.Port] = true
+			usedOffset[u.Port][u.Offset] = true
+			s := slot{u.Port, u.Offset, false}
+			claims[s] = append(claims[s], reg)
+		}
+		if u := reg.Write; u != nil {
+			usedPort[u.Port] = true
+			usedOffset[u.Port][u.Offset] = true
+			s := slot{u.Port, u.Offset, true}
+			claims[s] = append(claims[s], reg)
+		}
+	}
+
+	for _, p := range c.dev.Ports {
+		if !usedPort[p] {
+			c.errs.Add(c.dev.AST.NamePos, "port %s is declared but never used", p.Name)
+			continue
+		}
+		for _, off := range p.Offsets.Values() {
+			if !usedOffset[p][off] {
+				c.errs.Add(c.dev.AST.NamePos, "offset %d of port %s is declared but never used", off, p.Name)
+			}
+		}
+	}
+
+	serialGroups := c.serializationGroups()
+	for s, regs := range claims {
+		if len(regs) < 2 {
+			continue
+		}
+		for i := 0; i < len(regs); i++ {
+			for j := i + 1; j < len(regs); j++ {
+				a, b := regs[i], regs[j]
+				if disjointPre(a, b) || disjointMasks(a, b) || serialGroups[regPair{a, b}] {
+					continue
+				}
+				dir := "reading"
+				if s.write {
+					dir = "writing"
+				}
+				c.errs.Add(b.Pos, "registers %s and %s overlap %s %s@%d without disjoint pre-actions, disjoint masks, or a shared serialization",
+					a.Name, b.Name, dir, s.port.Name, s.offset)
+			}
+		}
+	}
+}
+
+type regPair struct{ a, b *Register }
+
+// serializationGroups returns the symmetric relation "appear together in
+// one explicit serialization list".
+func (c *checker) serializationGroups() map[regPair]bool {
+	rel := map[regPair]bool{}
+	add := func(steps []*SerStep) {
+		for i := range steps {
+			for j := range steps {
+				if i != j {
+					rel[regPair{steps[i].Reg, steps[j].Reg}] = true
+				}
+			}
+		}
+	}
+	for _, v := range c.dev.Variables {
+		add(v.Order)
+	}
+	for _, s := range c.dev.Structures {
+		add(s.Order)
+	}
+	return rel
+}
+
+// disjointPre reports whether two registers are distinguished by their
+// pre-action contexts. Two registers behind one address are distinguishable
+// when their pre-action lists differ structurally — different targets
+// establish different contexts (the CS4236B index vs extended families), a
+// shared target assigned different constants selects different banks (the
+// busmouse index values), and an asymmetric list (the 8237A flip-flop
+// pre-action on cnt_low only) changes the device's internal pointer.
+// Only identical contexts leave the registers aliased, which is an error.
+func disjointPre(a, b *Register) bool {
+	if len(a.Pre) != len(b.Pre) {
+		return len(a.Pre) > 0 || len(b.Pre) > 0
+	}
+	if len(a.Pre) == 0 {
+		return false
+	}
+	targetsOf := func(acts []*Action) map[any]bool {
+		m := map[any]bool{}
+		for _, act := range acts {
+			if act.TargetVar != nil {
+				m[act.TargetVar] = true
+			} else if act.TargetStruct != nil {
+				m[act.TargetStruct] = true
+			}
+		}
+		return m
+	}
+	ta, tb := targetsOf(a.Pre), targetsOf(b.Pre)
+	for k := range ta {
+		if !tb[k] {
+			return true
+		}
+	}
+	for k := range tb {
+		if !ta[k] {
+			return true
+		}
+	}
+	// Same targets: look for one assigned different constants.
+	for _, aa := range a.Pre {
+		for _, bb := range b.Pre {
+			if aa.TargetVar != nil && aa.TargetVar == bb.TargetVar &&
+				aa.Value.Kind == ValConst && bb.Value.Kind == ValConst &&
+				aa.Value.Const != bb.Value.Const {
+				return true
+			}
+			// A parameter-dependent context distinguishes the instances of
+			// one family from each other and from constant contexts.
+			if aa.TargetVar != nil && aa.TargetVar == bb.TargetVar &&
+				(aa.Value.Kind == ValParamRef) != (bb.Value.Kind == ValParamRef) {
+				return true
+			}
+			if aa.TargetStruct != nil && aa.TargetStruct == bb.TargetStruct {
+				if disjointStructValues(aa.Value, bb.Value) {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+func disjointStructValues(a, b Value) bool {
+	for _, fa := range a.Fields {
+		for _, fb := range b.Fields {
+			if fa.Var == fb.Var && fa.Value.Kind == ValConst && fb.Value.Kind == ValConst &&
+				fa.Value.Const != fb.Value.Const {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// disjointMasks reports whether two registers behind one address are
+// distinguished by their masks: either their relevant-bit sets are disjoint
+// (they describe different bits of one physical register), or some bit is
+// forced to opposite values (the device decodes that bit to route the
+// write, like the 8259A's D4 separating ICW1 from OCW2).
+func disjointMasks(a, b *Register) bool {
+	if a.Size != b.Size {
+		return true
+	}
+	for i := 0; i < a.Size; i++ {
+		if a.Mask[i] == BitForce1 && b.Mask[i] == BitForce0 ||
+			a.Mask[i] == BitForce0 && b.Mask[i] == BitForce1 {
+			return true
+		}
+	}
+	for i := 0; i < a.Size; i++ {
+		if a.Mask[i] == BitRelevant && b.Mask[i] == BitRelevant {
+			return false
+		}
+	}
+	return true
+}
+
+// ---------------------------------------------------------------------------
+// Registers must be used by at least one variable (families may instead be
+// instantiated).
+
+func (c *checker) checkRegisterUsage() {
+	used := map[*Register]bool{}
+	for _, v := range c.dev.Variables {
+		for _, ch := range v.Chunks {
+			used[ch.Reg] = true
+		}
+	}
+	for _, reg := range c.dev.Registers {
+		if reg.Base != nil {
+			used[reg.Base] = true
+		}
+	}
+	for _, reg := range c.dev.Registers {
+		if !used[reg] {
+			c.errs.Add(reg.Pos, "register %s is declared but never used", reg.Name)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Private variables and cells must be referenced somewhere: by an action, a
+// guard, or a trigger; otherwise the declaration is dead.
+
+func (c *checker) checkPrivateUsage() {
+	referenced := map[*Variable]bool{}
+	noteValue := func(v Value) {
+		if v.Kind == ValVarRef {
+			referenced[v.Var] = true
+		}
+		for _, f := range v.Fields {
+			referenced[f.Var] = true
+			if f.Value.Kind == ValVarRef {
+				referenced[f.Value.Var] = true
+			}
+		}
+	}
+	noteActions := func(acts []*Action) {
+		for _, a := range acts {
+			if a.TargetVar != nil {
+				referenced[a.TargetVar] = true
+			}
+			if a.TargetStruct != nil {
+				for _, f := range a.TargetStruct.Fields {
+					referenced[f] = true
+				}
+			}
+			noteValue(a.Value)
+		}
+	}
+	noteSteps := func(steps []*SerStep) {
+		for _, s := range steps {
+			if s.Guard != nil {
+				referenced[s.Guard.Var] = true
+			}
+		}
+	}
+	for _, reg := range c.dev.Registers {
+		noteActions(reg.Pre)
+		noteActions(reg.Post)
+		noteActions(reg.Set)
+	}
+	for _, v := range c.dev.Variables {
+		noteActions(v.Set)
+		noteSteps(v.Order)
+	}
+	for _, s := range c.dev.Structures {
+		noteSteps(s.Order)
+	}
+	for _, v := range c.dev.Variables {
+		if v.Private && !referenced[v] && v.Struct == nil {
+			c.errs.Add(v.Pos, "private variable %s is declared but never used", v.Name)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Enumerated types: read mappings of readable variables must be exhaustive,
+// so every raw value the device can deliver decodes to a symbol.
+
+func (c *checker) checkEnumDirections() {
+	for _, v := range c.dev.Variables {
+		if v.Cell || v.Type.Kind != TypeEnum {
+			continue
+		}
+		if v.Readable && v.Type.Bits <= 12 {
+			for raw := uint64(0); raw < 1<<uint(v.Type.Bits); raw++ {
+				if _, ok := v.Type.SymbolFor(raw); !ok {
+					c.errs.Add(v.Pos, "read mapping of variable %s is not exhaustive: %s matches no symbol",
+						v.Name, fmt.Sprintf("%0*b", v.Type.Bits, raw))
+					break
+				}
+			}
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Trigger composition: when several variables share a register, writing one
+// of them rewrites the others' bits; every write-trigger co-tenant must have
+// a neutral value for that composition.
+
+func (c *checker) checkTriggers() {
+	tenants := map[*Register][]*Variable{}
+	for _, v := range c.dev.Variables {
+		for _, reg := range v.RegistersUsed() {
+			tenants[reg] = append(tenants[reg], v)
+		}
+	}
+	for reg, vs := range tenants {
+		if len(vs) < 2 || !reg.Writable() {
+			continue
+		}
+		for _, v := range vs {
+			if v.Trigger != nil && v.Trigger.Dir != ast.AccessRead && !v.Trigger.HasNeutral {
+				c.errs.Add(v.Pos, "variable %s triggers on writes and shares register %s with other variables, but has no neutral value (use \"trigger except SYM\" or \"trigger for VALUE\")",
+					v.Name, reg.Name)
+			}
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Block transfers need a variable that is exactly one whole register.
+
+func (c *checker) checkBlocks() {
+	for _, v := range c.dev.Variables {
+		if !v.Block {
+			continue
+		}
+		if len(v.Chunks) != 1 || len(v.Chunks[0].Bits) != v.Chunks[0].Reg.Size {
+			c.errs.Add(v.Pos, "block variable %s must cover exactly one whole register", v.Name)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Pre-action recursion must terminate: accessing a register may write other
+// variables, whose registers run their own pre-actions, and so on. The
+// dependency graph must be acyclic.
+
+func (c *checker) checkActionCycles() {
+	const (
+		white = 0
+		grey  = 1
+		black = 2
+	)
+	color := map[*Register]int{}
+
+	var visitReg func(reg *Register) bool
+	var visitVar func(v *Variable) bool
+
+	visitVar = func(v *Variable) bool {
+		for _, ch := range v.Chunks {
+			if !visitReg(ch.Reg) {
+				return false
+			}
+		}
+		return true
+	}
+
+	visitActions := func(acts []*Action) bool {
+		for _, a := range acts {
+			if a.TargetVar != nil && !a.TargetVar.Cell {
+				if !visitVar(a.TargetVar) {
+					return false
+				}
+			}
+			if a.TargetStruct != nil {
+				for _, f := range a.TargetStruct.Fields {
+					if !visitVar(f) {
+						return false
+					}
+				}
+			}
+			if a.Value.Kind == ValVarRef && !a.Value.Var.Cell {
+				if !visitVar(a.Value.Var) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+
+	visitReg = func(reg *Register) bool {
+		switch color[reg] {
+		case grey:
+			c.errs.Add(reg.Pos, "pre-actions of register %s are cyclic (the access context can never be established)", reg.Name)
+			return false
+		case black:
+			return true
+		}
+		color[reg] = grey
+		ok := visitActions(reg.Pre) && visitActions(reg.Post) && visitActions(reg.Set)
+		color[reg] = black
+		return ok
+	}
+
+	for _, reg := range c.dev.Registers {
+		visitReg(reg)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Guarded serialization: a guard should test a variable whose register was
+// already written by an earlier unconditional step (the 8259A pattern), so
+// the value is defined during the sequence.
+
+func (c *checker) checkGuardOrder() {
+	for _, s := range c.dev.Structures {
+		written := map[*Register]bool{}
+		for _, step := range s.Order {
+			if g := step.Guard; g != nil && !g.Var.Cell {
+				ok := false
+				for _, ch := range g.Var.Chunks {
+					if written[ch.Reg] {
+						ok = true
+					}
+				}
+				if !ok {
+					c.errs.Add(s.Pos, "structure %s: guard on %s tests a variable whose register is not written by an earlier step",
+						s.Name, g.Var.Name)
+				}
+			}
+			written[step.Reg] = true
+		}
+	}
+}

@@ -1,0 +1,313 @@
+// Package sema resolves and checks Devil specifications.
+//
+// It turns the parser's AST into a resolved device model (symbols bound,
+// types elaborated, serialization orders fixed, pre/set actions typed) and
+// enforces the consistency properties of section 3.1 of the paper:
+//
+//   - strong typing: every use of a port, register, or variable matches its
+//     definition; all size constraints hold (port access width, register
+//     size, mask and enum pattern widths, variable widths, bit ranges).
+//   - no omission: all declared entities are used — port parameters, port
+//     offsets, registers, register bits (unless masked irrelevant); read
+//     mappings of readable enumerated types are exhaustive; a type with
+//     read (resp. write) mappings belongs to a readable (resp. writable)
+//     variable.
+//   - no double definition: no entity is declared twice.
+//   - no overlapping definitions: a port appears in at most one register per
+//     direction unless the registers are distinguished by disjoint
+//     pre-actions or masks or by an explicit serialization; no register bit
+//     belongs to two variables.
+//
+// The resolved model is the input of the access planner (package ir), the
+// interpretive executor (package exec) and the code generator (package
+// codegen).
+package sema
+
+import (
+	"fmt"
+
+	"repro/internal/devil/ast"
+	"repro/internal/devil/token"
+)
+
+// Device is the fully resolved model of one specification.
+type Device struct {
+	Name       string
+	Ports      []*Port
+	Registers  []*Register  // declaration order; includes register families
+	Variables  []*Variable  // declaration order; includes private, cells and structure fields
+	Structures []*Structure // declaration order
+
+	AST *ast.Device
+
+	ports   map[string]*Port
+	regs    map[string]*Register
+	vars    map[string]*Variable
+	structs map[string]*Structure
+}
+
+// Port looks up a resolved port parameter by name.
+func (d *Device) Port(name string) *Port { return d.ports[name] }
+
+// Register looks up a resolved register by name.
+func (d *Device) Register(name string) *Register { return d.regs[name] }
+
+// Variable looks up a resolved variable (including structure fields and
+// private cells) by name.
+func (d *Device) Variable(name string) *Variable { return d.vars[name] }
+
+// Structure looks up a resolved structure by name.
+func (d *Device) Structure(name string) *Structure { return d.structs[name] }
+
+// Interface returns the public device variables (non-private, not cells),
+// the device's functional interface in the paper's sense.
+func (d *Device) Interface() []*Variable {
+	var out []*Variable
+	for _, v := range d.Variables {
+		if !v.Private && !v.Cell {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// Port is a resolved device port parameter.
+type Port struct {
+	Name    string
+	Width   int // access width in bits: 8, 16, or 32
+	Offsets *ast.IntSet
+	Index   int // position among the device parameters
+}
+
+// PortUse is a register's binding to a port at a fixed offset.
+type PortUse struct {
+	Port   *Port
+	Offset int
+}
+
+// String renders the use in source syntax.
+func (u PortUse) String() string { return fmt.Sprintf("%s@%d", u.Port.Name, u.Offset) }
+
+// MaskBit classifies one register bit according to the register mask.
+type MaskBit byte
+
+// Mask bit classes. The paper's Figure 1 convention: '.' marks a relevant
+// bit (to be covered by a device variable), '*' and '-' mark irrelevant
+// bits, '0'/'1' mark bits that read as don't-care but are forced when
+// written.
+const (
+	BitRelevant MaskBit = iota
+	BitIrrelevant
+	BitForce0
+	BitForce1
+)
+
+// Register is a resolved register or register family.
+type Register struct {
+	Name string
+	Pos  token.Pos
+
+	// Family parameterization; Param == "" for plain registers.
+	Param  string
+	Domain *ast.IntSet
+
+	// Instantiation of a family (register I23 = I(23)); nil otherwise.
+	Base *Register
+	Arg  int
+
+	Size  int
+	Read  *PortUse  // nil when not readable
+	Write *PortUse  // nil when not writable
+	Mask  []MaskBit // indexed by bit number (0 = LSB); len == Size
+
+	Pre  []*Action
+	Post []*Action
+	Set  []*Action
+
+	Index int
+}
+
+// IsFamily reports whether the register is parameterized.
+func (r *Register) IsFamily() bool { return r.Param != "" }
+
+// Readable reports whether the register can be read.
+func (r *Register) Readable() bool { return r.Read != nil }
+
+// Writable reports whether the register can be written.
+func (r *Register) Writable() bool { return r.Write != nil }
+
+// ForcedBits returns the OR-mask and AND-mask implementing the '0'/'1'
+// forced bits and zeroing of irrelevant bits for writes: the raw value to
+// emit is (v & and) | or.
+func (r *Register) ForcedBits() (or, and uint64) {
+	for i, m := range r.Mask {
+		switch m {
+		case BitRelevant:
+			and |= 1 << uint(i)
+		case BitForce1:
+			or |= 1 << uint(i)
+		}
+	}
+	return or, and
+}
+
+// Action is a resolved pre/post/set action.
+type Action struct {
+	Pos token.Pos
+
+	// Exactly one of TargetVar / TargetStruct is set.
+	TargetVar    *Variable
+	TargetStruct *Structure
+
+	Value Value
+}
+
+// ValueKind discriminates the Value union.
+type ValueKind int
+
+// Value kinds.
+const (
+	ValConst    ValueKind = iota // a constant, already encoded for its target
+	ValAny                       // '*': any value may be written (we use 0)
+	ValParamRef                  // the register family's parameter
+	ValVarRef                    // the current value of another variable/cell
+	ValStruct                    // a structure literal (only for structure targets)
+)
+
+// Value is the right-hand side of an action, a trigger-for value, or a
+// guard comparand. Const carries the raw encoded bits for the target type.
+type Value struct {
+	Kind   ValueKind
+	Const  uint64
+	Var    *Variable    // for ValVarRef
+	Fields []FieldValue // for ValStruct
+}
+
+// FieldValue is one field assignment inside a ValStruct value.
+type FieldValue struct {
+	Var   *Variable
+	Value Value
+}
+
+// Chunk is a resolved register fragment of a variable definition. Bits are
+// listed MSB-first with respect to the variable's value.
+type Chunk struct {
+	Reg  *Register
+	Bits []int // register bit numbers, MSB-first; never empty after resolution
+
+	// Family application argument.
+	ArgKind ArgKind
+	ArgVal  int // for ArgConst
+}
+
+// ArgKind says how a chunk instantiates a register family.
+type ArgKind int
+
+// Chunk argument kinds.
+const (
+	ArgNone  ArgKind = iota // plain register
+	ArgConst                // R(23)
+	ArgParam                // R(j) where j is the variable's parameter
+)
+
+// Trigger is a resolved trigger attribute.
+type Trigger struct {
+	Dir ast.Access
+	// HasNeutral/Neutral: the "except SYM" neutral raw value that can be
+	// rewritten without side effect.
+	HasNeutral bool
+	Neutral    uint64
+	// HasFor/For: only writing this raw value triggers.
+	HasFor bool
+	For    uint64
+}
+
+// Variable is a resolved device variable, private variable, structure
+// field, or unmapped memory cell.
+type Variable struct {
+	Name    string
+	Pos     token.Pos
+	Private bool
+	Cell    bool // unmapped memory cell
+
+	// Parameterization over a register family.
+	Param  string
+	Domain *ast.IntSet
+
+	Chunks []*Chunk
+	Width  int
+
+	Volatile bool
+	Trigger  *Trigger
+	Block    bool
+
+	Set []*Action
+
+	Type *Type
+
+	// Order is the resolved register access order (explicit "serialized as"
+	// or the default chunk order).
+	Order []*SerStep
+
+	// Struct is the owning structure, nil for top-level variables.
+	Struct *Structure
+
+	Readable bool
+	Writable bool
+
+	Index int
+}
+
+// RegistersUsed returns the distinct registers of the variable's chunks in
+// first-use order.
+func (v *Variable) RegistersUsed() []*Register {
+	var out []*Register
+	seen := map[*Register]bool{}
+	for _, c := range v.Chunks {
+		if !seen[c.Reg] {
+			seen[c.Reg] = true
+			out = append(out, c.Reg)
+		}
+	}
+	return out
+}
+
+// SerStep is one resolved serialization step: access Reg when Guard holds.
+type SerStep struct {
+	Reg   *Register
+	Guard *Guard // nil when unconditional
+}
+
+// Guard is a resolved serialization guard: Var ==/!= Value (raw encoded).
+type Guard struct {
+	Var   *Variable
+	Neg   bool
+	Value uint64
+}
+
+// Structure is a resolved structure declaration.
+type Structure struct {
+	Name    string
+	Pos     token.Pos
+	Private bool
+	Fields  []*Variable
+	Order   []*SerStep
+
+	Index int
+}
+
+// RegistersUsed returns the distinct registers of all fields in first-use
+// order.
+func (s *Structure) RegistersUsed() []*Register {
+	var out []*Register
+	seen := map[*Register]bool{}
+	for _, f := range s.Fields {
+		for _, c := range f.Chunks {
+			if !seen[c.Reg] {
+				seen[c.Reg] = true
+				out = append(out, c.Reg)
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,408 @@
+package sema
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/devil/ast"
+	"repro/internal/devil/parser"
+)
+
+const busmouseSrc = `
+device logitech_busmouse (base : bit[8] port @ {0..3})
+{
+    register sig_reg = base @ 1 : bit[8];
+    variable signature = sig_reg, volatile, write trigger : int(8);
+
+    register cr = write base @ 3, mask '1001000.' : bit[8];
+    variable config = cr[0] : { CONFIGURATION => '1', DEFAULT_MODE => '0' };
+
+    register interrupt_reg = write base @ 2, mask '000.0000' : bit[8];
+    variable interrupt = interrupt_reg[4] : { ENABLE => '0', DISABLE => '1' };
+
+    register index_reg = write base @ 2, mask '1..00000' : bit[8];
+    private variable index = index_reg[6..5] : int(2);
+
+    register x_low  = read base @ 0, pre {index = 0}, mask '****....' : bit[8];
+    register x_high = read base @ 0, pre {index = 1}, mask '****....' : bit[8];
+    register y_low  = read base @ 0, pre {index = 2}, mask '****....' : bit[8];
+    register y_high = read base @ 0, pre {index = 3}, mask '...*....' : bit[8];
+
+    structure mouse_state = {
+        variable dx = x_high[3..0] # x_low[3..0], volatile : signed int(8);
+        variable dy = y_high[3..0] # y_low[3..0], volatile : signed int(8);
+        variable buttons = y_high[7..5], volatile : int(3);
+    };
+}
+`
+
+func resolveSrc(t *testing.T, src string) *Device {
+	t.Helper()
+	astDev, errs := parser.Parse([]byte(src))
+	if errs.Err() != nil {
+		t.Fatalf("parse: %v", errs)
+	}
+	dev, errs := Resolve(astDev)
+	if errs.Err() != nil {
+		t.Fatalf("resolve: %v", errs)
+	}
+	return dev
+}
+
+// expectErr parses and resolves src expecting a diagnostic containing sub.
+func expectErr(t *testing.T, src, sub string) {
+	t.Helper()
+	astDev, errs := parser.Parse([]byte(src))
+	if errs.Err() != nil {
+		t.Fatalf("parse: %v", errs)
+	}
+	_, errs = Resolve(astDev)
+	if errs.Err() == nil {
+		t.Fatalf("expected error containing %q, got none", sub)
+	}
+	if !strings.Contains(errs.Error(), sub) {
+		t.Fatalf("errors %q do not contain %q", errs.Error(), sub)
+	}
+}
+
+func TestBusmouseResolves(t *testing.T) {
+	dev := resolveSrc(t, busmouseSrc)
+
+	if got := len(dev.Interface()); got != 6 {
+		// signature, config, interrupt, dx, dy, buttons
+		t.Errorf("interface size = %d, want 6", got)
+	}
+
+	sig := dev.Variable("signature")
+	if sig == nil || !sig.Readable || !sig.Writable || !sig.Volatile {
+		t.Fatalf("signature = %+v", sig)
+	}
+	if sig.Trigger == nil || sig.Trigger.Dir != ast.AccessWrite || sig.Trigger.HasNeutral {
+		t.Errorf("signature trigger = %+v", sig.Trigger)
+	}
+
+	config := dev.Variable("config")
+	if config.Readable || !config.Writable {
+		t.Errorf("config readable=%v writable=%v, want write-only", config.Readable, config.Writable)
+	}
+	sym, ok := config.Type.Symbol("CONFIGURATION")
+	if !ok || sym.Value != 1 || !sym.Writable() || sym.Readable() {
+		t.Errorf("CONFIGURATION = %+v", sym)
+	}
+
+	idx := dev.Variable("index")
+	if !idx.Private || idx.Cell {
+		t.Errorf("index = %+v", idx)
+	}
+
+	cr := dev.Register("cr")
+	or, and := cr.ForcedBits()
+	if or != 0x90 || and != 0x01 {
+		t.Errorf("cr forced bits: or=%#x and=%#x, want 0x90/0x01", or, and)
+	}
+
+	// y_high: bits 3..0 relevant (dy), bit 4 irrelevant, 7..5 relevant.
+	yh := dev.Register("y_high")
+	if yh.Mask[4] != BitIrrelevant || yh.Mask[5] != BitRelevant || yh.Mask[0] != BitRelevant {
+		t.Errorf("y_high mask = %v", yh.Mask)
+	}
+	if yh.Write != nil || yh.Read == nil {
+		t.Errorf("y_high should be read-only")
+	}
+
+	// x_low pre-action targets index with constant 0.
+	xl := dev.Register("x_low")
+	if len(xl.Pre) != 1 || xl.Pre[0].TargetVar != idx || xl.Pre[0].Value.Const != 0 {
+		t.Errorf("x_low pre = %+v", xl.Pre)
+	}
+
+	// Structure order: x_high, x_low, y_high, y_low (field/chunk order).
+	ms := dev.Structure("mouse_state")
+	var order []string
+	for _, s := range ms.Order {
+		order = append(order, s.Reg.Name)
+	}
+	if got := strings.Join(order, ","); got != "x_high,x_low,y_high,y_low" {
+		t.Errorf("mouse_state order = %s", got)
+	}
+
+	dx := dev.Variable("dx")
+	if dx.Width != 8 || dx.Struct != ms || len(dx.Chunks) != 2 {
+		t.Errorf("dx = %+v", dx)
+	}
+	if dx.Type.Kind != TypeSInt {
+		t.Errorf("dx type = %v", dx.Type)
+	}
+}
+
+func TestCS4236FragmentResolves(t *testing.T) {
+	src := `
+device cs_fragment (base : bit[8] port @ {0..1})
+{
+    private variable xm : bool;
+    register control = base @ 0, set {xm = false} : bit[8];
+    variable IA = control : int{0..31};
+
+    register I (i : int{0..31}) = base @ 1, pre {IA = i} : bit[8];
+    register I23 = I(23), mask '......0.';
+
+    variable ACF = I23[0] : bool;
+    structure XS = {
+        variable XA = I23[2, 7..4] : int(5);
+        variable XRAE = I23[3], set {xm = XRAE}, write trigger for true : bool;
+    };
+
+    register X (j : int{0..17, 25}) = base @ 1,
+        pre {XS = {XA => j; XRAE => true}} : bit[8];
+    variable ext (j : int{0..17, 25}) = X(j) : int(8);
+}
+`
+	dev := resolveSrc(t, src)
+
+	xm := dev.Variable("xm")
+	if !xm.Cell || !xm.Private {
+		t.Fatalf("xm = %+v", xm)
+	}
+
+	// IA occupies the whole control register but its type range tops at 31;
+	// the width check passes because int{..} width comes from the chunks.
+	ia := dev.Variable("IA")
+	if ia.Width != 8 || ia.Type.Kind != TypeIntSet {
+		t.Errorf("IA = width %d type %v", ia.Width, ia.Type)
+	}
+
+	// I23 inherits the family's ports and size, substitutes i=23 in pre.
+	i23 := dev.Register("I23")
+	if i23.Base != dev.Register("I") || i23.Size != 8 {
+		t.Fatalf("I23 = %+v", i23)
+	}
+	if len(i23.Pre) != 1 || i23.Pre[0].TargetVar != ia {
+		t.Fatalf("I23 pre = %+v", i23.Pre)
+	}
+	if v := i23.Pre[0].Value; v.Kind != ValConst || v.Const != 23 {
+		t.Errorf("I23 pre value = %+v", v)
+	}
+
+	// The family keeps the ParamRef.
+	ifam := dev.Register("I")
+	if v := ifam.Pre[0].Value; v.Kind != ValParamRef {
+		t.Errorf("I pre value = %+v", v)
+	}
+
+	// XRAE: trigger for true implies neutral false.
+	xrae := dev.Variable("XRAE")
+	if xrae.Trigger == nil || !xrae.Trigger.HasFor || xrae.Trigger.For != 1 {
+		t.Fatalf("XRAE trigger = %+v", xrae.Trigger)
+	}
+	if !xrae.Trigger.HasNeutral || xrae.Trigger.Neutral != 0 {
+		t.Errorf("XRAE neutral = %+v", xrae.Trigger)
+	}
+
+	// X family pre-action: structure literal with a ParamRef field.
+	x := dev.Register("X")
+	if len(x.Pre) != 1 || x.Pre[0].TargetStruct != dev.Structure("XS") {
+		t.Fatalf("X pre = %+v", x.Pre)
+	}
+	fs := x.Pre[0].Value.Fields
+	if len(fs) != 2 || fs[0].Value.Kind != ValParamRef || fs[1].Value.Const != 1 {
+		t.Errorf("X pre fields = %+v", fs)
+	}
+
+	// ext is parameterized and one whole family register wide.
+	ext := dev.Variable("ext")
+	if ext.Param != "j" || ext.Width != 8 || ext.Chunks[0].ArgKind != ArgParam {
+		t.Errorf("ext = %+v", ext)
+	}
+}
+
+func TestPIC8259Resolves(t *testing.T) {
+	src := `
+device pic_fragment (base : bit[8] port @ {0..1})
+{
+    register icw1 = write base @ 0, mask '...1....' : bit[8];
+    register icw2 = write base @ 1, mask '.....000' : bit[8];
+    register icw3 = write base @ 1 : bit[8];
+    register icw4 = write base @ 1, mask '000.....' : bit[8];
+
+    structure init = {
+        variable ltim = icw1[3] : bool;
+        variable adi  = icw1[2] : bool;
+        variable sngl = icw1[1] : { SINGLE => '1', CASCADED => '0' };
+        variable ic4  = icw1[0] : bool;
+        variable lirq = icw1[7..5] : int(3);
+        variable base_vec = icw2[7..3] : int(5);
+        variable slaves = icw3 : int(8);
+        variable sfnm = icw4[4] : bool;
+        variable buf  = icw4[3..2] : int(2);
+        variable aeoi = icw4[1] : bool;
+        variable microprocessor = icw4[0] : { X8086 => '1', MCS80_85 => '0' };
+    } serialized as {
+        icw1;
+        icw2;
+        if (sngl == CASCADED) icw3;
+        if (ic4 == true) icw4;
+    };
+}
+`
+	dev := resolveSrc(t, src)
+	init := dev.Structure("init")
+	if len(init.Order) != 4 {
+		t.Fatalf("order = %+v", init.Order)
+	}
+	g := init.Order[2].Guard
+	if g == nil || g.Var != dev.Variable("sngl") || g.Value != 0 || g.Neg {
+		t.Errorf("icw3 guard = %+v", g)
+	}
+	g = init.Order[3].Guard
+	if g == nil || g.Var != dev.Variable("ic4") || g.Value != 1 {
+		t.Errorf("icw4 guard = %+v", g)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Property checks: each §3.1 rule fires on a deliberately broken spec.
+
+const okPrefix = `
+device d (a : bit[8] port @ {0..1})
+{
+`
+
+func TestCheckErrors(t *testing.T) {
+	tests := []struct {
+		name, body, want string
+	}{
+		{"double definition",
+			"register r = a @ 0 : bit[8]; variable r = r : int(8); register q = a @ 1 : bit[8]; variable v = q : int(8);",
+			"declared twice"},
+		{"unknown port",
+			"register r = zz @ 0 : bit[8]; variable v = r : int(8); register q = a @ 0 : bit[8]; variable w = q : int(8);",
+			"unknown port"},
+		{"offset out of range",
+			"register r = a @ 7 : bit[8]; variable v = r : int(8); register q = a @ 0 : bit[8]; variable w = q : int(8);",
+			"outside the declared range"},
+		{"size mismatch with port width",
+			"register r = a @ 0 : bit[16]; variable v = r : int(16); register q = a @ 1 : bit[8]; variable w = q : int(8);",
+			"does not match the 8-bit access width"},
+		{"mask length",
+			"register r = a @ 0, mask '101' : bit[8]; variable v = r : int(8); register q = a @ 1 : bit[8]; variable w = q : int(8);",
+			"mask '101' has 3 bits"},
+		{"variable width vs type",
+			"register r = a @ 0 : bit[8]; variable v = r[3..0] : int(8); register q = a @ 1 : bit[8]; variable w = q : int(8);",
+			"definition has 4 bits but type int(8) has 8"},
+		{"bit out of register",
+			"register r = a @ 0 : bit[8]; variable v = r[9] : int(1); register q = a @ 1 : bit[8]; variable w = q : int(8);",
+			"bit 9 outside register"},
+		{"bit overlap between variables",
+			"register r = a @ 0 : bit[8]; variable v = r[3..0] : int(4); variable w = r[4..1] : int(4); register q = a @ 1 : bit[8]; variable u = q : int(8);",
+			"belongs to both"},
+		{"relevant bit uncovered",
+			"register r = a @ 0 : bit[8]; variable v = r[3..0] : int(4); register q = a @ 1 : bit[8]; variable w = q : int(8);",
+			"belongs to no variable"},
+		{"variable uses irrelevant bit",
+			"register r = a @ 0, mask '****....' : bit[8]; variable v = r[4..0] : int(5); register q = a @ 1 : bit[8]; variable w = q : int(8);",
+			"declares irrelevant"},
+		{"variable uses forced bit",
+			"register r = a @ 0, mask '0000....' : bit[8]; variable v = r[4..0] : int(5); register q = a @ 1 : bit[8]; variable w = q : int(8);",
+			"forces on writes"},
+		{"port never used",
+			"register r = a @ 0 : bit[8]; variable v = r : int(8);",
+			"offset 1 of port a is declared but never used"},
+		{"register never used",
+			"register r = a @ 0 : bit[8]; variable v = r : int(8); register q = a @ 1 : bit[8];",
+			"register q is declared but never used"},
+		{"private variable never used",
+			"register r = a @ 0 : bit[8]; private variable v = r : int(8); register q = a @ 1 : bit[8]; variable w = q : int(8);",
+			"private variable v is declared but never used"},
+		{"overlap without disambiguation",
+			"register r = a @ 0 : bit[8]; variable v = r : int(8); register r2 = a @ 0 : bit[8]; variable v2 = r2 : int(8); register q = a @ 1 : bit[8]; variable w = q : int(8);",
+			"overlap"},
+		{"enum not exhaustive for reads",
+			"register r = a @ 0 : bit[8]; variable v = r[7..1] : int(7); variable e = r[0] : { ON <=> '1' }; register q = a @ 1 : bit[8]; variable w = q : int(8);",
+			"not exhaustive"},
+		{"enum read mapping on write-only register",
+			"register r = write a @ 0 : bit[8]; variable v = r[7..1] : int(7); variable e = r[0] : { ON <=> '1', OFF <=> '0' }; register q = a @ 1 : bit[8]; variable w = q : int(8);",
+			"read mappings but its registers cannot be read"},
+		{"trigger without neutral on shared register",
+			"register r = a @ 0 : bit[8]; variable v = r[7..1] : int(7); variable tr = r[0], write trigger : bool; register q = a @ 1 : bit[8]; variable w = q : int(8);",
+			"no neutral value"},
+		{"block variable must be whole register",
+			"register r = a @ 0 : bit[8]; variable v = r[7..4], block : int(4); variable u = r[3..0] : int(4); register q = a @ 1 : bit[8]; variable w = q : int(8);",
+			"whole register"},
+		{"action cycle",
+			"register r = a @ 0, pre {w = 1} : bit[8]; variable v = r : int(8); register q = a @ 1, pre {v = 1} : bit[8]; variable w = q : int(8);",
+			"cyclic"},
+		{"unknown action target",
+			"register r = a @ 0, pre {nosuch = 1} : bit[8]; variable v = r : int(8); register q = a @ 1 : bit[8]; variable w = q : int(8);",
+			"unknown action target"},
+		{"action value out of range",
+			"register r = a @ 0 : bit[8]; variable v = r : int(8); register q = a @ 1, pre {v = 300} : bit[8]; variable w = q : int(8);",
+			"out of range"},
+		{"neutral symbol not in type",
+			"register r = a @ 0 : bit[8]; variable v = r[7..1] : int(7); variable tr = r[0], write trigger except NOSUCH : { GO <=> '1', STAY <=> '0' }; register q = a @ 1 : bit[8]; variable w = q : int(8);",
+			"neutral symbol NOSUCH"},
+		{"serialization names unused register",
+			"register r = a @ 0 : bit[8]; variable v = r : int(8) serialized as {q}; register q = a @ 1 : bit[8]; variable w = q : int(8);",
+			"not used by the declaration"},
+		{"serialization incomplete",
+			"register r = a @ 0, pre {w = 0} : bit[8]; register q = a @ 1 : bit[8]; variable w = q[0] : int(1); private variable pad = q[7..1] : int(7) serialized as {q}; variable v = r # q[0] : int(9) serialized as {r};",
+			"missing from serialization"},
+		{"guard before write",
+			"register r = write a @ 0 : bit[8]; register q = write a @ 1 : bit[8]; structure s = { variable v = r : int(8); variable w = q : int(8); } serialized as { if (w == 1) r; q; };",
+			"not written by an earlier step"},
+		{"block on multi-register variable",
+			"register r = a @ 0 : bit[8]; register q = a @ 1 : bit[8]; variable v = r # q, block : int(16);",
+			"whole register"},
+		{"instantiation of non-family",
+			"register r = a @ 0 : bit[8]; register r2 = r(3); variable v = r : int(8); variable v2 = r2 : int(8); register q = a @ 1 : bit[8]; variable w = q : int(8);",
+			"not parameterized"},
+		{"family argument outside domain",
+			"register f (i : int{0..3}) = a @ 0, pre {sel = i} : bit[8]; register g = f(9); variable v = g : int(8); register q = a @ 1 : bit[8]; variable sel = q[1..0] : int(2); private variable pad = q[7..2] : int(6);",
+			"outside the domain"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			expectErr(t, okPrefix+tt.body+"\n}", tt.want)
+		})
+	}
+}
+
+func TestPrivateUsedIsAccepted(t *testing.T) {
+	// The "private variable never used" diagnostic must not fire when the
+	// variable appears in a pre-action (like the busmouse index variable).
+	resolveSrc(t, busmouseSrc)
+}
+
+func TestDisjointMaskOverlapAccepted(t *testing.T) {
+	src := okPrefix + `
+    register lo = a @ 0, mask '****....' : bit[8];
+    register hi = a @ 0, mask '....****' : bit[8];
+    variable l = lo[3..0] : int(4);
+    variable h = hi[7..4] : int(4);
+    register q = a @ 1 : bit[8];
+    variable w = q : int(8);
+}`
+	resolveSrc(t, src)
+}
+
+func TestSharedSerializationOverlapAccepted(t *testing.T) {
+	// The 8237A pattern: two registers on one port, ordered explicitly.
+	src := `
+device dma_fragment (data : bit[8] port, ff : bit[8] port)
+{
+    register flip_reg = write ff, mask '*******.' : bit[8];
+    private variable flip_flop = flip_reg[0], write trigger : int(1);
+    register cnt_low = data, pre {flip_flop = *} : bit[8];
+    register cnt_high = data : bit[8];
+    variable x = cnt_high # cnt_low : int(16)
+        serialized as {cnt_low; cnt_high};
+}
+`
+	dev := resolveSrc(t, src)
+	x := dev.Variable("x")
+	if len(x.Order) != 2 || x.Order[0].Reg.Name != "cnt_low" {
+		t.Errorf("x order = %+v", x.Order)
+	}
+	if v := dev.Register("cnt_low").Pre[0].Value; v.Kind != ValAny {
+		t.Errorf("cnt_low pre = %+v", v)
+	}
+}

@@ -1,0 +1,241 @@
+package sema
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/devil/ast"
+)
+
+// TypeKind discriminates resolved device-variable types.
+type TypeKind int
+
+// Resolved type kinds.
+const (
+	TypeBool TypeKind = iota
+	TypeUInt
+	TypeSInt
+	TypeIntSet
+	TypeEnum
+)
+
+// Type is a resolved device-variable type. The semantic domain of every
+// type is int64: booleans are 0/1, enums are their raw pattern values.
+type Type struct {
+	Kind TypeKind
+	Bits int          // representation width
+	Set  *ast.IntSet  // for TypeIntSet
+	Enum []EnumSymbol // for TypeEnum
+}
+
+// EnumSymbol is one resolved symbol of an enumerated type. Pattern bits are
+// stored as a value/mask pair: raw matches the symbol when
+// raw&CareMask == Value. Fully specified symbols have CareMask covering the
+// whole width.
+type EnumSymbol struct {
+	Name     string
+	Dir      ast.EnumDir
+	Value    uint64
+	CareMask uint64
+}
+
+// Matches reports whether an encoded raw value matches the symbol pattern.
+func (s EnumSymbol) Matches(raw uint64) bool { return raw&s.CareMask == s.Value }
+
+// Readable reports whether the symbol participates in read mappings.
+func (s EnumSymbol) Readable() bool { return s.Dir == ast.EnumRead || s.Dir == ast.EnumRW }
+
+// Writable reports whether the symbol participates in write mappings.
+func (s EnumSymbol) Writable() bool { return s.Dir == ast.EnumWrite || s.Dir == ast.EnumRW }
+
+// String renders the type in source-like syntax.
+func (t *Type) String() string {
+	switch t.Kind {
+	case TypeBool:
+		return "bool"
+	case TypeUInt:
+		return fmt.Sprintf("int(%d)", t.Bits)
+	case TypeSInt:
+		return fmt.Sprintf("signed int(%d)", t.Bits)
+	case TypeIntSet:
+		return "int" + t.Set.String()
+	case TypeEnum:
+		var names []string
+		for _, s := range t.Enum {
+			names = append(names, s.Name)
+		}
+		return "{" + strings.Join(names, ", ") + "}"
+	}
+	return "?"
+}
+
+// widthMask returns a mask of t.Bits low bits.
+func (t *Type) widthMask() uint64 {
+	if t.Bits >= 64 {
+		return ^uint64(0)
+	}
+	return 1<<uint(t.Bits) - 1
+}
+
+// Symbol looks up an enum symbol by name; ok is false for non-enum types or
+// unknown names.
+func (t *Type) Symbol(name string) (EnumSymbol, bool) {
+	for _, s := range t.Enum {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return EnumSymbol{}, false
+}
+
+// SymbolFor returns the first readable symbol matching raw.
+func (t *Type) SymbolFor(raw uint64) (EnumSymbol, bool) {
+	for _, s := range t.Enum {
+		if s.Readable() && s.Matches(raw) {
+			return s, true
+		}
+	}
+	return EnumSymbol{}, false
+}
+
+// Encode converts a semantic value to its raw bit representation, checking
+// that the value is legal for the type (the §3.2 write check). For enums the
+// semantic value is the raw pattern value and must match a writable symbol.
+func (t *Type) Encode(v int64) (uint64, error) {
+	switch t.Kind {
+	case TypeBool:
+		if v != 0 && v != 1 {
+			return 0, fmt.Errorf("value %d out of range for bool", v)
+		}
+		return uint64(v), nil
+	case TypeUInt:
+		if v < 0 || uint64(v) > t.widthMask() {
+			return 0, fmt.Errorf("value %d out of range for %s", v, t)
+		}
+		return uint64(v), nil
+	case TypeSInt:
+		min := -(int64(1) << uint(t.Bits-1))
+		max := int64(1)<<uint(t.Bits-1) - 1
+		if v < min || v > max {
+			return 0, fmt.Errorf("value %d out of range for %s", v, t)
+		}
+		return uint64(v) & t.widthMask(), nil
+	case TypeIntSet:
+		if v < 0 || !t.Set.Contains(int(v)) {
+			return 0, fmt.Errorf("value %d not in %s", v, t)
+		}
+		return uint64(v), nil
+	case TypeEnum:
+		if v < 0 || uint64(v) > t.widthMask() {
+			return 0, fmt.Errorf("value %#x out of range for %s", v, t)
+		}
+		raw := uint64(v)
+		for _, s := range t.Enum {
+			if s.Writable() && s.Matches(raw) {
+				return raw, nil
+			}
+		}
+		return 0, fmt.Errorf("value %#x matches no writable symbol of %s", v, t)
+	}
+	return 0, fmt.Errorf("cannot encode for unknown type")
+}
+
+// Decode converts raw bits read from the device into the semantic value,
+// sign-extending signed integers.
+func (t *Type) Decode(raw uint64) int64 {
+	raw &= t.widthMask()
+	if t.Kind == TypeSInt && t.Bits < 64 && raw&(1<<uint(t.Bits-1)) != 0 {
+		return int64(raw | ^t.widthMask())
+	}
+	return int64(raw)
+}
+
+// CheckRead verifies that a raw value read from the device is legal for the
+// type (the optional §3.2 read check: the device behaves according to its
+// specification).
+func (t *Type) CheckRead(raw uint64) error {
+	raw &= t.widthMask()
+	switch t.Kind {
+	case TypeIntSet:
+		if !t.Set.Contains(int(raw)) {
+			return fmt.Errorf("device delivered %d, not in %s", raw, t)
+		}
+	case TypeEnum:
+		if _, ok := t.SymbolFor(raw); !ok {
+			return fmt.Errorf("device delivered %#x, matching no readable symbol of %s", raw, t)
+		}
+	}
+	return nil
+}
+
+// resolveType elaborates an AST type against the variable width. width is
+// the number of bits of the variable's definition (0 for memory cells,
+// where the type determines the width).
+func (r *resolver) resolveType(at ast.Type, width int, varName string) *Type {
+	switch t := at.(type) {
+	case *ast.BoolType:
+		return &Type{Kind: TypeBool, Bits: 1}
+	case *ast.IntType:
+		if t.Bits <= 0 || t.Bits > 64 {
+			r.errorf(t.Pos(), "unsupported integer width %d for %s", t.Bits, varName)
+			return &Type{Kind: TypeUInt, Bits: 1}
+		}
+		k := TypeUInt
+		if t.Signed {
+			k = TypeSInt
+		}
+		return &Type{Kind: k, Bits: t.Bits}
+	case *ast.IntSetType:
+		bits := width
+		if bits == 0 {
+			// Memory cell: width derived from the largest member.
+			for bits = 1; t.Set.Max() >= 1<<uint(bits); bits++ {
+			}
+		}
+		if t.Set.Min() < 0 {
+			r.errorf(t.Pos(), "negative values not allowed in int set type of %s", varName)
+		}
+		return &Type{Kind: TypeIntSet, Bits: bits, Set: t.Set}
+	case *ast.EnumType:
+		rt := &Type{Kind: TypeEnum}
+		if len(t.Items) == 0 {
+			r.errorf(t.Pos(), "empty enumerated type for %s", varName)
+			rt.Bits = 1
+			return rt
+		}
+		rt.Bits = t.Items[0].Pattern.Len()
+		seen := map[string]bool{}
+		for _, it := range t.Items {
+			if seen[it.Name] {
+				r.errorf(it.NamePos, "symbol %s declared twice in enumerated type of %s", it.Name, varName)
+				continue
+			}
+			seen[it.Name] = true
+			if it.Pattern.Len() != rt.Bits {
+				r.errorf(it.Pattern.Pos(), "pattern %s of symbol %s has %d bits, type has %d",
+					it.Pattern, it.Name, it.Pattern.Len(), rt.Bits)
+				continue
+			}
+			sym := EnumSymbol{Name: it.Name, Dir: it.Dir}
+			for i, c := range it.Pattern.Chars {
+				bit := uint(rt.Bits - 1 - i)
+				switch c {
+				case '0':
+					sym.CareMask |= 1 << bit
+				case '1':
+					sym.CareMask |= 1 << bit
+					sym.Value |= 1 << bit
+				case '.':
+					// wildcard bit
+				default:
+					r.errorf(it.Pattern.Pos(), "character %q not allowed in enum pattern %s (use 0, 1 or .)",
+						string(c), it.Pattern)
+				}
+			}
+			rt.Enum = append(rt.Enum, sym)
+		}
+		return rt
+	}
+	r.errorf(at.Pos(), "unsupported type for %s", varName)
+	return &Type{Kind: TypeUInt, Bits: 1}
+}

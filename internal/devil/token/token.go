@@ -1,0 +1,202 @@
+// Package token defines the lexical tokens of the Devil interface
+// definition language, together with source positions.
+//
+// The token set follows the Devil language as described in "Devil: An IDL
+// for Hardware Programming" (Mérillon et al., OSDI 2000) and the companion
+// research report. It contains the usual identifier/number/punctuation
+// tokens plus two Devil-specific literal forms: bit patterns (quoted strings
+// of mask characters such as '1001000.') and the wildcard value '*' used in
+// pre-actions like "pre {flip_flop = *}".
+package token
+
+import "fmt"
+
+// Kind identifies the lexical class of a token.
+type Kind int
+
+// The list of lexical token kinds.
+const (
+	// Special tokens.
+	ILLEGAL Kind = iota
+	EOF
+	COMMENT // // line comment or /* block comment */
+
+	// Literals and names.
+	IDENT // logitech_busmouse
+	INT   // 8, 0x23c
+	BITS  // '1001000.'
+	literalEnd
+
+	// Punctuation and operators.
+	AT        // @
+	HASH      // #
+	COMMA     // ,
+	SEMICOLON // ;
+	COLON     // :
+	LBRACE    // {
+	RBRACE    // }
+	LBRACKET  // [
+	RBRACKET  // ]
+	LPAREN    // (
+	RPAREN    // )
+	ASSIGN    // =
+	DOTDOT    // ..
+	STAR      // *
+	WRITEMAP  // =>
+	READMAP   // <=
+	RWMAP     // <=>
+	EQ        // ==
+	NEQ       // !=
+	operatorEnd
+
+	// Keywords.
+	DEVICE
+	REGISTER
+	VARIABLE
+	STRUCTURE
+	PORT
+	BIT
+	INTTYPE // int
+	SIGNED
+	BOOL
+	TRUE
+	FALSE
+	READ
+	WRITE
+	MASK
+	PRE
+	POST
+	SET
+	PRIVATE
+	VOLATILE
+	TRIGGER
+	EXCEPT
+	FOR
+	BLOCK
+	SERIALIZED
+	AS
+	IF
+	keywordEnd
+)
+
+var kindNames = map[Kind]string{
+	ILLEGAL:   "ILLEGAL",
+	EOF:       "EOF",
+	COMMENT:   "COMMENT",
+	IDENT:     "IDENT",
+	INT:       "INT",
+	BITS:      "BITS",
+	AT:        "@",
+	HASH:      "#",
+	COMMA:     ",",
+	SEMICOLON: ";",
+	COLON:     ":",
+	LBRACE:    "{",
+	RBRACE:    "}",
+	LBRACKET:  "[",
+	RBRACKET:  "]",
+	LPAREN:    "(",
+	RPAREN:    ")",
+	ASSIGN:    "=",
+	DOTDOT:    "..",
+	STAR:      "*",
+	WRITEMAP:  "=>",
+	READMAP:   "<=",
+	RWMAP:     "<=>",
+	EQ:        "==",
+	NEQ:       "!=",
+
+	DEVICE:     "device",
+	REGISTER:   "register",
+	VARIABLE:   "variable",
+	STRUCTURE:  "structure",
+	PORT:       "port",
+	BIT:        "bit",
+	INTTYPE:    "int",
+	SIGNED:     "signed",
+	BOOL:       "bool",
+	TRUE:       "true",
+	FALSE:      "false",
+	READ:       "read",
+	WRITE:      "write",
+	MASK:       "mask",
+	PRE:        "pre",
+	POST:       "post",
+	SET:        "set",
+	PRIVATE:    "private",
+	VOLATILE:   "volatile",
+	TRIGGER:    "trigger",
+	EXCEPT:     "except",
+	FOR:        "for",
+	BLOCK:      "block",
+	SERIALIZED: "serialized",
+	AS:         "as",
+	IF:         "if",
+}
+
+// String returns the textual form of the token kind: the operator or keyword
+// spelling for fixed tokens, or the class name for variable tokens.
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// IsKeyword reports whether the kind is a reserved word.
+func (k Kind) IsKeyword() bool { return k > operatorEnd && k < keywordEnd }
+
+// IsLiteral reports whether the kind carries source text that matters
+// (identifier, integer, or bit-pattern literal).
+func (k Kind) IsLiteral() bool { return k >= IDENT && k < literalEnd }
+
+var keywords = func() map[string]Kind {
+	m := make(map[string]Kind)
+	for k := Kind(operatorEnd + 1); k < keywordEnd; k++ {
+		m[kindNames[k]] = k
+	}
+	return m
+}()
+
+// Lookup maps an identifier spelling to its keyword kind, or returns IDENT
+// if the spelling is not reserved.
+func Lookup(ident string) Kind {
+	if k, ok := keywords[ident]; ok {
+		return k
+	}
+	return IDENT
+}
+
+// Pos is a source position: byte offset plus 1-based line and column.
+type Pos struct {
+	Offset int // byte offset, starting at 0
+	Line   int // line number, starting at 1
+	Column int // column number (in bytes), starting at 1
+}
+
+// IsValid reports whether the position carries real location information.
+func (p Pos) IsValid() bool { return p.Line > 0 }
+
+// String formats the position as "line:col".
+func (p Pos) String() string {
+	if !p.IsValid() {
+		return "-"
+	}
+	return fmt.Sprintf("%d:%d", p.Line, p.Column)
+}
+
+// Token is a single lexical token: its kind, its literal source text (for
+// IDENT, INT, BITS and COMMENT; empty otherwise), and its position.
+type Token struct {
+	Kind Kind
+	Lit  string
+	Pos  Pos
+}
+
+// String renders the token for diagnostics.
+func (t Token) String() string {
+	if t.Kind.IsLiteral() || t.Kind == COMMENT {
+		return fmt.Sprintf("%s(%q)", t.Kind, t.Lit)
+	}
+	return t.Kind.String()
+}

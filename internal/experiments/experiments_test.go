@@ -1,0 +1,111 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestTable2Shape verifies the qualitative Table 2 claims on a small
+// transfer: DMA parity, ~90% PIO loop ratio, block parity.
+func TestTable2Shape(t *testing.T) {
+	rows, err := Table2Rows(256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 7 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Config.Mode == 1 { // DMA
+			if r.Ratio < 0.99 || r.Ratio > 1.01 {
+				t.Errorf("DMA ratio = %.3f", r.Ratio)
+			}
+			continue
+		}
+		if r.Ratio < 0.85 || r.Ratio > 0.95 {
+			t.Errorf("%s ratio = %.3f, want ~0.90", r.Config, r.Ratio)
+		}
+		if r.DevilOps <= r.StdOps {
+			t.Errorf("%s: devil ops %d should exceed std ops %d (per-word loop)",
+				r.Config, r.DevilOps, r.StdOps)
+		}
+	}
+
+	blocks, err := Table2BlockRows(256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range blocks {
+		if r.Ratio < 0.98 || r.Ratio > 1.005 {
+			t.Errorf("block %s ratio = %.3f, want ~1.0", r.Config, r.Ratio)
+		}
+	}
+}
+
+// TestTable3And4Shape verifies the Permedia2 claims: small-rect penalty a
+// few percent, none at 100+ pixels, 24bpp identical, and the per-primitive
+// write counts.
+func TestTable3And4Shape(t *testing.T) {
+	rows, err := Table3Rows(200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		switch {
+		case r.BPP == 24:
+			if r.Ratio < 0.999 || r.StdWrites != 10 || r.DevilWrites != 10 {
+				t.Errorf("24bpp %dx%d: ratio %.3f writes %d/%d", r.Size, r.Size, r.Ratio, r.StdWrites, r.DevilWrites)
+			}
+		default:
+			if r.StdWrites != 15 || r.DevilWrites != 17 {
+				t.Errorf("%dbpp fill writes = %d/%d, want 15/17", r.BPP, r.StdWrites, r.DevilWrites)
+			}
+			if r.Size <= 10 && (r.Ratio < 0.88 || r.Ratio > 1.0) {
+				t.Errorf("%dbpp %dx%d ratio = %.3f", r.BPP, r.Size, r.Size, r.Ratio)
+			}
+			if r.Size >= 100 && r.Ratio < 0.97 {
+				t.Errorf("%dbpp %dx%d ratio = %.3f, want ~1.0", r.BPP, r.Size, r.Size, r.Ratio)
+			}
+		}
+	}
+
+	copies, err := Table4Rows(200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range copies {
+		if r.BPP >= 24 {
+			if r.StdWrites != 9 || r.DevilWrites != 9 || r.Ratio < 0.999 {
+				t.Errorf("copy %dbpp: writes %d/%d ratio %.3f", r.BPP, r.StdWrites, r.DevilWrites, r.Ratio)
+			}
+		} else if r.StdWrites != 15 || r.DevilWrites != 17 {
+			t.Errorf("copy %dbpp writes = %d/%d, want 15/17", r.BPP, r.StdWrites, r.DevilWrites)
+		}
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	out, err := Table2(256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Table 2", "DMA", "block-transfer stubs"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table 2 output missing %q", want)
+		}
+	}
+	out, err = Table3(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "rectangle test") {
+		t.Error("Table 3 title missing")
+	}
+	out, err = Table4(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "screen copy") {
+		t.Error("Table 4 title missing")
+	}
+}

@@ -1,0 +1,46 @@
+// Package gen_test verifies that every checked-in generated stub package is
+// exactly what the current compiler produces from the library specification,
+// so the two can never drift apart.
+package gen_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/devil/codegen"
+	"repro/internal/specs"
+)
+
+// generated maps checked-in files to their source spec and options.
+var generated = []struct {
+	file string
+	spec []byte
+	opts codegen.Options
+}{
+	{"busmouse/busmouse.go", specs.Busmouse, codegen.Options{Package: "busmouse"}},
+	{"ide/ide.go", specs.IDE, codegen.Options{Package: "ide"}},
+	{"piix4/piix4.go", specs.PIIX4, codegen.Options{Package: "piix4"}},
+	{"ne2000/ne2000.go", specs.NE2000, codegen.Options{Package: "ne2000"}},
+	{"permedia2/permedia2.go", specs.Permedia2, codegen.Options{Package: "permedia2"}},
+}
+
+func TestCheckedInStubsAreCurrent(t *testing.T) {
+	for _, gv := range generated {
+		t.Run(gv.file, func(t *testing.T) {
+			spec := core.MustCompile(gv.spec)
+			want, err := codegen.Generate(spec, gv.opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := os.ReadFile(filepath.FromSlash(gv.file))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if string(got) != string(want) {
+				t.Errorf("%s is stale; regenerate with devilc", gv.file)
+			}
+		})
+	}
+}

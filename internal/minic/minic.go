@@ -1,0 +1,607 @@
+// Package minic implements a small C-like front end used as the baseline of
+// the paper's mutation analysis (§4.2).
+//
+// The mutation study asks, for each injected error, "would the compiler
+// have caught this?". For the hand-crafted driver fragments the answer must
+// come from a *C-like* checker — deliberately permissive, integers
+// everywhere — because using Go's stricter rules would unfairly favour the
+// baseline. Mini-C covers the subset those fragments use:
+//
+//	#define NAME constant-expression
+//	int x, y;
+//	statements: assignment (=, |=, &=, <<=, >>=), expression statements,
+//	            if/else, while, blocks
+//	expressions: full C operator set over integers, calls to declared
+//	             built-in functions (inb, outb, insw, ...)
+//
+// The same front end, loaded with a typed stub-signature table instead of
+// the permissive built-ins, checks the C_Devil fragments (driver code whose
+// device accesses go through Devil-generated stubs): unknown identifiers,
+// arity errors, enum-typed arguments, and compile-time range checks on
+// constant arguments (§3.2) are all detected there.
+package minic
+
+import (
+	"fmt"
+	"strings"
+)
+
+// TokKind classifies mini-C tokens; the mutation engine keys its rules on
+// these classes.
+type TokKind int
+
+// Token kinds.
+const (
+	TokEOF TokKind = iota
+	TokIdent
+	TokNumber
+	TokOp    // operator or punctuation
+	TokHash  // #define introducer
+	TokError // lexically malformed
+)
+
+// Token is one lexical token with its source text.
+type Token struct {
+	Kind TokKind
+	Text string
+	Pos  int // byte offset
+	Line int
+}
+
+// Lex tokenizes src. Malformed input yields TokError tokens; the checker
+// reports them as (detected) errors.
+func Lex(src string) []Token {
+	var toks []Token
+	line := 1
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == '\n':
+			line++
+			i++
+		case c == ' ' || c == '\t' || c == '\r':
+			i++
+		case c == '/' && i+1 < len(src) && src[i+1] == '/':
+			for i < len(src) && src[i] != '\n' {
+				i++
+			}
+		case c == '/' && i+1 < len(src) && src[i+1] == '*':
+			i += 2
+			for i+1 < len(src) && !(src[i] == '*' && src[i+1] == '/') {
+				if src[i] == '\n' {
+					line++
+				}
+				i++
+			}
+			i += 2
+		case isIdentStart(c):
+			start := i
+			for i < len(src) && isIdentChar(src[i]) {
+				i++
+			}
+			toks = append(toks, Token{TokIdent, src[start:i], start, line})
+		case c >= '0' && c <= '9':
+			start := i
+			if c == '0' && i+1 < len(src) && (src[i+1] == 'x' || src[i+1] == 'X') {
+				i += 2
+				for i < len(src) && isHex(src[i]) {
+					i++
+				}
+				if i == start+2 {
+					toks = append(toks, Token{TokError, src[start:i], start, line})
+					continue
+				}
+			} else {
+				for i < len(src) && src[i] >= '0' && src[i] <= '9' {
+					i++
+				}
+			}
+			// Trailing identifier characters make the number malformed.
+			if i < len(src) && isIdentStart(src[i]) {
+				for i < len(src) && isIdentChar(src[i]) {
+					i++
+				}
+				toks = append(toks, Token{TokError, src[start:i], start, line})
+				continue
+			}
+			toks = append(toks, Token{TokNumber, src[start:i], start, line})
+		case c == '#':
+			toks = append(toks, Token{TokHash, "#", i, line})
+			i++
+		default:
+			// Multi-character operators, longest first.
+			ops := []string{
+				"<<=", ">>=", "==", "!=", "<=", ">=", "&&", "||", "<<", ">>",
+				"+=", "-=", "|=", "&=", "^=",
+				"+", "-", "*", "/", "%", "&", "|", "^", "~", "!", "<", ">",
+				"=", "(", ")", "{", "}", ",", ";",
+			}
+			matched := false
+			for _, op := range ops {
+				if strings.HasPrefix(src[i:], op) {
+					toks = append(toks, Token{TokOp, op, i, line})
+					i += len(op)
+					matched = true
+					break
+				}
+			}
+			if !matched {
+				toks = append(toks, Token{TokError, string(c), i, line})
+				i++
+			}
+		}
+	}
+	toks = append(toks, Token{Kind: TokEOF, Pos: len(src), Line: line})
+	return toks
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z'
+}
+
+func isIdentChar(c byte) bool { return isIdentStart(c) || c >= '0' && c <= '9' }
+
+func isHex(c byte) bool {
+	return c >= '0' && c <= '9' || c >= 'a' && c <= 'f' || c >= 'A' && c <= 'F'
+}
+
+// ---------------------------------------------------------------------------
+// Signatures (for C_Devil checking)
+
+// Type is a mini-C value type. In permissive C mode everything is Int; in
+// stub mode enum-typed stub parameters and results are distinct types.
+type Type struct {
+	Enum string // enum type name, "" for plain int
+	// Lo/Hi bound constant arguments when Bounded (the compile-time §3.2
+	// range check on generated setters).
+	Bounded bool
+	Lo, Hi  int64
+}
+
+// Int is the untyped-integer type.
+var Int = Type{}
+
+// Func describes a callable in the checker's symbol table.
+type Func struct {
+	Params []Type
+	Result Type
+}
+
+// Env is the symbol table a fragment is checked against.
+type Env struct {
+	Funcs  map[string]Func
+	Consts map[string]Type // named constants (enum symbols are enum-typed)
+	// Permissive selects C semantics: enum types collapse into Int and
+	// constant range checks are skipped.
+	Permissive bool
+}
+
+// CEnv returns the permissive environment with the classic port built-ins.
+func CEnv() *Env {
+	return &Env{
+		Permissive: true,
+		Funcs: map[string]Func{
+			"inb":    {Params: []Type{Int}, Result: Int},
+			"inw":    {Params: []Type{Int}, Result: Int},
+			"inl":    {Params: []Type{Int}, Result: Int},
+			"outb":   {Params: []Type{Int, Int}},
+			"outw":   {Params: []Type{Int, Int}},
+			"outl":   {Params: []Type{Int, Int}},
+			"insw":   {Params: []Type{Int, Int, Int}},
+			"outsw":  {Params: []Type{Int, Int, Int}},
+			"insl":   {Params: []Type{Int, Int, Int}},
+			"outsl":  {Params: []Type{Int, Int, Int}},
+			"readl":  {Params: []Type{Int}, Result: Int},
+			"writel": {Params: []Type{Int, Int}},
+			"udelay": {Params: []Type{Int}},
+		},
+		Consts: map[string]Type{},
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Checker
+
+// Check parses and type-checks a fragment against env, returning the first
+// error or nil. A nil result means a C compiler (or the stub-aware checker)
+// would accept the mutant — the mutation goes undetected.
+func Check(src string, env *Env) error {
+	toks := Lex(src)
+	for _, t := range toks {
+		if t.Kind == TokError {
+			return fmt.Errorf("line %d: malformed token %q", t.Line, t.Text)
+		}
+	}
+	c := &checker{toks: toks, env: env, vars: map[string]Type{}}
+	return c.checkFragment()
+}
+
+type checker struct {
+	toks []Token
+	pos  int
+	env  *Env
+	vars map[string]Type
+}
+
+func (c *checker) cur() Token  { return c.toks[c.pos] }
+func (c *checker) next() Token { t := c.toks[c.pos]; c.pos++; return t }
+
+func (c *checker) errf(format string, args ...any) error {
+	return fmt.Errorf("line %d: %s", c.cur().Line, fmt.Sprintf(format, args...))
+}
+
+func (c *checker) expectOp(op string) error {
+	if c.cur().Kind != TokOp || c.cur().Text != op {
+		return c.errf("expected %q, found %q", op, c.cur().Text)
+	}
+	c.pos++
+	return nil
+}
+
+func (c *checker) isOp(op string) bool {
+	return c.cur().Kind == TokOp && c.cur().Text == op
+}
+
+func (c *checker) checkFragment() error {
+	for c.cur().Kind != TokEOF {
+		if err := c.checkTop(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (c *checker) checkTop() error {
+	t := c.cur()
+	switch {
+	case t.Kind == TokHash:
+		return c.checkDefine()
+	case t.Kind == TokIdent && t.Text == "int":
+		return c.checkVarDecl()
+	default:
+		return c.checkStmt()
+	}
+}
+
+// checkDefine handles "#define NAME expr".
+func (c *checker) checkDefine() error {
+	c.pos++ // '#'
+	if c.cur().Kind != TokIdent || c.cur().Text != "define" {
+		return c.errf("expected define after #")
+	}
+	c.pos++
+	if c.cur().Kind != TokIdent {
+		return c.errf("expected macro name")
+	}
+	name := c.next().Text
+	// The replacement is a constant expression on the same line.
+	line := c.toks[c.pos-1].Line
+	if c.cur().Line != line {
+		return c.errf("macro %s has no replacement", name)
+	}
+	if _, _, err := c.checkExpr(); err != nil {
+		return err
+	}
+	c.vars[name] = Int
+	return nil
+}
+
+func (c *checker) checkVarDecl() error {
+	c.pos++ // int
+	for {
+		if c.cur().Kind != TokIdent {
+			return c.errf("expected variable name")
+		}
+		c.vars[c.next().Text] = Int
+		if c.isOp(",") {
+			c.pos++
+			continue
+		}
+		break
+	}
+	return c.expectOp(";")
+}
+
+func (c *checker) checkStmt() error {
+	switch {
+	case c.isOp("{"):
+		c.pos++
+		for !c.isOp("}") {
+			if c.cur().Kind == TokEOF {
+				return c.errf("unterminated block")
+			}
+			if err := c.checkTop(); err != nil {
+				return err
+			}
+		}
+		c.pos++
+		return nil
+	case c.cur().Kind == TokIdent && (c.cur().Text == "if" || c.cur().Text == "while"):
+		c.pos++
+		if err := c.expectOp("("); err != nil {
+			return err
+		}
+		if _, _, err := c.checkExpr(); err != nil {
+			return err
+		}
+		if err := c.expectOp(")"); err != nil {
+			return err
+		}
+		if err := c.checkStmt(); err != nil {
+			return err
+		}
+		if c.cur().Kind == TokIdent && c.cur().Text == "else" {
+			c.pos++
+			return c.checkStmt()
+		}
+		return nil
+	}
+	// Assignment or expression statement.
+	if c.cur().Kind == TokIdent && c.pos+1 < len(c.toks) {
+		nt := c.toks[c.pos+1]
+		if nt.Kind == TokOp {
+			switch nt.Text {
+			case "=", "|=", "&=", "^=", "+=", "-=", "<<=", ">>=":
+				name := c.next().Text
+				if _, ok := c.lookupValue(name); !ok {
+					return c.errf("%q undeclared", name)
+				}
+				c.pos++ // the assignment operator
+				if _, _, err := c.checkExpr(); err != nil {
+					return err
+				}
+				return c.expectOp(";")
+			}
+		}
+	}
+	if _, _, err := c.checkExpr(); err != nil {
+		return err
+	}
+	return c.expectOp(";")
+}
+
+func (c *checker) lookupValue(name string) (Type, bool) {
+	if t, ok := c.vars[name]; ok {
+		return t, ok
+	}
+	t, ok := c.env.Consts[name]
+	return t, ok
+}
+
+// checkExpr checks a full expression, returning its type and, when the
+// expression is a constant, its value.
+func (c *checker) checkExpr() (Type, *int64, error) { return c.checkBinary(0) }
+
+// C binary operator precedence levels, loosest first.
+var precLevels = [][]string{
+	{"||"}, {"&&"}, {"|"}, {"^"}, {"&"},
+	{"==", "!="}, {"<", ">", "<=", ">="},
+	{"<<", ">>"}, {"+", "-"}, {"*", "/", "%"},
+}
+
+func (c *checker) checkBinary(level int) (Type, *int64, error) {
+	if level >= len(precLevels) {
+		return c.checkUnary()
+	}
+	lt, lv, err := c.checkBinary(level + 1)
+	if err != nil {
+		return Int, nil, err
+	}
+	for c.cur().Kind == TokOp && contains(precLevels[level], c.cur().Text) {
+		op := c.next().Text
+		rt, rv, err := c.checkBinary(level + 1)
+		if err != nil {
+			return Int, nil, err
+		}
+		if !c.env.Permissive {
+			// Arithmetic on enum-typed values is a stub-API misuse.
+			if lt.Enum != "" || rt.Enum != "" {
+				return Int, nil, c.errf("operator %q applied to enum-typed value", op)
+			}
+		}
+		lv = constFold(op, lv, rv)
+		lt = Int
+	}
+	return lt, lv, nil
+}
+
+func contains(ss []string, s string) bool {
+	for _, x := range ss {
+		if x == s {
+			return true
+		}
+	}
+	return false
+}
+
+func constFold(op string, a, b *int64) *int64 {
+	if a == nil || b == nil {
+		return nil
+	}
+	var v int64
+	switch op {
+	case "|":
+		v = *a | *b
+	case "&":
+		v = *a & *b
+	case "^":
+		v = *a ^ *b
+	case "+":
+		v = *a + *b
+	case "-":
+		v = *a - *b
+	case "*":
+		v = *a * *b
+	case "<<":
+		if *b < 0 || *b > 62 {
+			return nil
+		}
+		v = *a << uint(*b)
+	case ">>":
+		if *b < 0 || *b > 62 {
+			return nil
+		}
+		v = *a >> uint(*b)
+	case "/":
+		if *b == 0 {
+			return nil
+		}
+		v = *a / *b
+	case "%":
+		if *b == 0 {
+			return nil
+		}
+		v = *a % *b
+	default:
+		return nil
+	}
+	return &v
+}
+
+func (c *checker) checkUnary() (Type, *int64, error) {
+	if c.cur().Kind == TokOp {
+		switch c.cur().Text {
+		case "~", "!", "-", "+":
+			op := c.next().Text
+			t, v, err := c.checkUnary()
+			if err != nil {
+				return Int, nil, err
+			}
+			if !c.env.Permissive && t.Enum != "" {
+				return Int, nil, c.errf("operator %q applied to enum-typed value", op)
+			}
+			if v != nil {
+				switch op {
+				case "~":
+					nv := ^*v
+					v = &nv
+				case "-":
+					nv := -*v
+					v = &nv
+				case "!":
+					var nv int64
+					if *v == 0 {
+						nv = 1
+					}
+					v = &nv
+				}
+			}
+			return Int, v, nil
+		}
+	}
+	return c.checkPrimary()
+}
+
+func (c *checker) checkPrimary() (Type, *int64, error) {
+	t := c.cur()
+	switch t.Kind {
+	case TokNumber:
+		c.pos++
+		v, err := parseInt(t.Text)
+		if err != nil {
+			return Int, nil, c.errf("bad number %q", t.Text)
+		}
+		return Int, &v, nil
+	case TokIdent:
+		c.pos++
+		if c.isOp("(") {
+			return c.checkCall(t.Text)
+		}
+		if typ, ok := c.lookupValue(t.Text); ok {
+			return typ, nil, nil
+		}
+		return Int, nil, fmt.Errorf("line %d: %q undeclared", t.Line, t.Text)
+	case TokOp:
+		if t.Text == "(" {
+			c.pos++
+			typ, v, err := c.checkExpr()
+			if err != nil {
+				return Int, nil, err
+			}
+			return typ, v, c.expectOp(")")
+		}
+	}
+	return Int, nil, c.errf("unexpected token %q", t.Text)
+}
+
+func (c *checker) checkCall(name string) (Type, *int64, error) {
+	fn, ok := c.env.Funcs[name]
+	if !ok {
+		return Int, nil, c.errf("call to undeclared function %q", name)
+	}
+	if err := c.expectOp("("); err != nil {
+		return Int, nil, err
+	}
+	var args []struct {
+		t Type
+		v *int64
+	}
+	if !c.isOp(")") {
+		for {
+			at, av, err := c.checkExpr()
+			if err != nil {
+				return Int, nil, err
+			}
+			args = append(args, struct {
+				t Type
+				v *int64
+			}{at, av})
+			if c.isOp(",") {
+				c.pos++
+				continue
+			}
+			break
+		}
+	}
+	if err := c.expectOp(")"); err != nil {
+		return Int, nil, err
+	}
+	if len(args) != len(fn.Params) {
+		return Int, nil, c.errf("%s expects %d arguments, got %d", name, len(fn.Params), len(args))
+	}
+	if !c.env.Permissive {
+		for i, a := range args {
+			p := fn.Params[i]
+			if p.Enum != "" && a.t.Enum != p.Enum {
+				return Int, nil, c.errf("argument %d of %s must be of enum type %s", i+1, name, p.Enum)
+			}
+			if p.Enum == "" && a.t.Enum != "" {
+				return Int, nil, c.errf("argument %d of %s is an integer, got enum %s", i+1, name, a.t.Enum)
+			}
+			// Compile-time range check on constant arguments (§3.2).
+			if p.Bounded && a.v != nil && (*a.v < p.Lo || *a.v > p.Hi) {
+				return Int, nil, c.errf("argument %d of %s out of range [%d,%d]", i+1, name, p.Lo, p.Hi)
+			}
+		}
+	}
+	return fn.Result, nil, nil
+}
+
+func parseInt(s string) (int64, error) {
+	var v int64
+	if strings.HasPrefix(s, "0x") || strings.HasPrefix(s, "0X") {
+		for _, r := range s[2:] {
+			var d int64
+			switch {
+			case r >= '0' && r <= '9':
+				d = int64(r - '0')
+			case r >= 'a' && r <= 'f':
+				d = int64(r-'a') + 10
+			case r >= 'A' && r <= 'F':
+				d = int64(r-'A') + 10
+			default:
+				return 0, fmt.Errorf("bad hex digit")
+			}
+			v = v*16 + d
+		}
+		return v, nil
+	}
+	for _, r := range s {
+		if r < '0' || r > '9' {
+			return 0, fmt.Errorf("bad digit")
+		}
+		v = v*10 + int64(r-'0')
+	}
+	return v, nil
+}

@@ -1,0 +1,155 @@
+package minic
+
+import (
+	"strings"
+	"testing"
+)
+
+func checkC(t *testing.T, src string) error {
+	t.Helper()
+	return Check(src, CEnv())
+}
+
+func TestValidCFragments(t *testing.T) {
+	srcs := []string{
+		`int x; x = 1;`,
+		`#define P 0x23c
+		 int v; v = inb(P) & 0xf;`,
+		`int a, b; a = 0; while (a < 10) { a = a + 1; } if (a == 10) b = 1; else b = 0;`,
+		`int x; x = (1 << 4) | 3; x |= 0x80; x <<= 2;`,
+		`outb(0x91, 0x23f);`,
+		`int buf; insw(0x1f0, buf, 256);`,
+	}
+	for _, src := range srcs {
+		if err := checkC(t, src); err != nil {
+			t.Errorf("%q: unexpected error %v", src, err)
+		}
+	}
+}
+
+func TestCErrors(t *testing.T) {
+	tests := []struct{ src, want string }{
+		{`x = 1;`, "undeclared"},
+		{`int x; x = y;`, "undeclared"},
+		{`int x; x = inb();`, "expects 1 arguments"},
+		{`int x; x = frobnicate(1);`, "undeclared function"},
+		{`int x; x = 1 +;`, "unexpected"},
+		{`int x; x = 12ab;`, "malformed"},
+		{`int x; x = (1;`, "expected"},
+		{`int x x = 1;`, "expected"},
+		{`int x; x = 0x;`, "malformed"},
+	}
+	for _, tt := range tests {
+		err := checkC(t, tt.src)
+		if err == nil {
+			t.Errorf("%q: expected error containing %q", tt.src, tt.want)
+			continue
+		}
+		if !strings.Contains(err.Error(), tt.want) {
+			t.Errorf("%q: error %q does not contain %q", tt.src, err, tt.want)
+		}
+	}
+}
+
+func stubEnv() *Env {
+	return &Env{
+		Funcs: map[string]Func{
+			"bm_set_config": {Params: []Type{{Enum: "bm_config"}}},
+			"bm_set_head":   {Params: []Type{{Bounded: true, Lo: 0, Hi: 15}}},
+			"bm_get_dx":     {Result: Type{Bounded: true, Lo: -128, Hi: 127}},
+			"bm_get_state":  {},
+		},
+		Consts: map[string]Type{
+			"CONFIGURATION": {Enum: "bm_config"},
+			"ENABLE":        {Enum: "bm_interrupt"},
+		},
+	}
+}
+
+func TestStubEnvTyping(t *testing.T) {
+	env := stubEnv()
+	ok := []string{
+		`bm_set_config(CONFIGURATION);`,
+		`bm_set_head(7);`,
+		`int x; x = bm_get_dx() + 1;`,
+		`int h; h = 3; bm_set_head(h);`, // non-constant: no range check
+	}
+	for _, src := range ok {
+		if err := Check(src, env); err != nil {
+			t.Errorf("%q: unexpected error %v", src, err)
+		}
+	}
+	bad := []struct{ src, want string }{
+		{`bm_set_config(1);`, "enum type"},
+		{`bm_set_config(ENABLE);`, "enum type"},
+		{`bm_set_head(CONFIGURATION);`, "integer"},
+		{`bm_set_head(16);`, "out of range"},
+		{`bm_set_head(7 + 9);`, "out of range"}, // constant folding reaches the check
+		{`int x; x = CONFIGURATION | 1;`, "enum-typed"},
+		{`bm_set_head();`, "expects 1 arguments"},
+		{`bm_get_dy();`, "undeclared function"},
+	}
+	for _, tt := range bad {
+		err := Check(tt.src, env)
+		if err == nil {
+			t.Errorf("%q: expected error containing %q", tt.src, tt.want)
+			continue
+		}
+		if !strings.Contains(err.Error(), tt.want) {
+			t.Errorf("%q: error %q does not contain %q", tt.src, err, tt.want)
+		}
+	}
+}
+
+func TestPermissiveModeIgnoresEnumsAndRanges(t *testing.T) {
+	env := stubEnv()
+	env.Permissive = true
+	for _, src := range []string{
+		`bm_set_config(1);`,
+		`bm_set_head(16);`,
+		`int x; x = CONFIGURATION | 1;`,
+	} {
+		if err := Check(src, env); err != nil {
+			t.Errorf("%q: permissive mode should accept: %v", src, err)
+		}
+	}
+}
+
+func TestLexerClasses(t *testing.T) {
+	toks := Lex(`foo 0x1f 42 << <<= /*c*/ // line
+	bar`)
+	var kinds []TokKind
+	for _, tk := range toks {
+		kinds = append(kinds, tk.Kind)
+	}
+	want := []TokKind{TokIdent, TokNumber, TokNumber, TokOp, TokOp, TokIdent, TokEOF}
+	if len(kinds) != len(want) {
+		t.Fatalf("kinds = %v", kinds)
+	}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Errorf("token %d: got %v want %v", i, kinds[i], want[i])
+		}
+	}
+	if toks[6].Line != 2 {
+		t.Errorf("bar line = %d", toks[6].Line)
+	}
+}
+
+func TestConstantFolding(t *testing.T) {
+	env := &Env{
+		Funcs: map[string]Func{
+			"f": {Params: []Type{{Bounded: true, Lo: 0, Hi: 100}}},
+		},
+		Consts: map[string]Type{},
+	}
+	if err := Check(`f((2 + 3) * 4);`, env); err != nil {
+		t.Errorf("20 in range: %v", err)
+	}
+	if err := Check(`f(50 << 2);`, env); err == nil {
+		t.Error("200 out of range: expected error")
+	}
+	if err := Check(`f(-1);`, env); err == nil {
+		t.Error("-1 out of range: expected error")
+	}
+}

@@ -1,0 +1,352 @@
+package mutation
+
+// The hardware-operating-code fragments of the three drivers in Table 1,
+// transcribed after the corresponding Linux 2.2 drivers. The C fragments
+// carry the magic constants and manual bit manipulation of the originals
+// (Figure 2 of the paper); the C_Devil fragments perform the same work
+// through Devil-generated stubs (Figure 3).
+
+// BusmouseC is the hand-crafted busmouse hardware operating code.
+const BusmouseC = `
+#define MSE_DATA_PORT 0x23c
+#define MSE_SIGNATURE_PORT 0x23d
+#define MSE_CONTROL_PORT 0x23e
+#define MSE_CONFIG_PORT 0x23f
+#define MSE_READ_X_LOW 0x80
+#define MSE_READ_X_HIGH 0xa0
+#define MSE_READ_Y_LOW 0xc0
+#define MSE_READ_Y_HIGH 0xe0
+#define MSE_INT_ON 0x00
+#define MSE_INT_OFF 0x10
+#define MSE_CONFIG_BYTE 0x91
+#define MSE_DEFAULT_MODE 0x90
+#define MSE_SIGNATURE_BYTE 0xa5
+
+int dx, dy, buttons, tmp;
+
+outb(MSE_SIGNATURE_BYTE, MSE_SIGNATURE_PORT);
+tmp = inb(MSE_SIGNATURE_PORT);
+if (tmp != MSE_SIGNATURE_BYTE) {
+    tmp = 1;
+}
+outb(MSE_CONFIG_BYTE, MSE_CONFIG_PORT);
+
+outb(MSE_READ_X_LOW, MSE_CONTROL_PORT);
+dx = inb(MSE_DATA_PORT) & 0xf;
+outb(MSE_READ_X_HIGH, MSE_CONTROL_PORT);
+dx = dx | ((inb(MSE_DATA_PORT) & 0xf) << 4);
+outb(MSE_READ_Y_LOW, MSE_CONTROL_PORT);
+dy = inb(MSE_DATA_PORT) & 0xf;
+outb(MSE_READ_Y_HIGH, MSE_CONTROL_PORT);
+buttons = inb(MSE_DATA_PORT);
+dy = dy | ((buttons & 0xf) << 4);
+buttons = (buttons >> 5) & 0x07;
+if (dx & 0x80) dx = dx - 256;
+if (dy & 0x80) dy = dy - 256;
+outb(MSE_INT_ON, MSE_CONTROL_PORT);
+`
+
+// BusmouseCDevil is the same handler through the generated stubs.
+const BusmouseCDevil = `
+int dx, dy, buttons, tmp, scale;
+
+bm_set_signature(0xa5);
+tmp = bm_get_signature();
+if (tmp != 0xa5) {
+    tmp = 1;
+}
+bm_set_config(CONFIGURATION);
+
+bm_get_mouse_state();
+dx = bm_get_dx();
+dy = bm_get_dy();
+buttons = bm_get_buttons();
+scale = 2;
+dx = (dx * scale) / 2;
+dy = (dy * scale) / 2;
+udelay(100);
+bm_set_interrupt(ENABLE);
+`
+
+// IdeC is the hand-crafted IDE command path: task-file programming, the
+// PIO interrupt handler's status check, and the busmaster DMA kickoff.
+const IdeC = `
+#define IDE_DATA 0x1f0
+#define IDE_FEATURES 0x1f1
+#define IDE_NSECT 0x1f2
+#define IDE_LBA_LOW 0x1f3
+#define IDE_LBA_MID 0x1f4
+#define IDE_LBA_HIGH 0x1f5
+#define IDE_DEVHEAD 0x1f6
+#define IDE_STATUS 0x1f7
+#define IDE_COMMAND 0x1f7
+#define IDE_CONTROL 0x3f6
+#define BM_COMMAND 0xc000
+#define BM_STATUS 0xc002
+#define BM_PRD 0xc004
+#define STAT_BUSY 0x80
+#define STAT_DRQ 0x08
+#define STAT_ERR 0x01
+#define CMD_READ 0x20
+#define CMD_READ_MULTI 0xc4
+#define CMD_SET_MULTI 0xc6
+#define CMD_READ_DMA 0xc8
+#define DEV_LBA 0xe0
+#define BM_START 0x01
+#define BM_DIR_READ 0x08
+#define BM_INT 0x04
+#define BM_ERR 0x02
+
+int lba, count, status, bmstat, prd_addr, i, word;
+
+outb(0x00, IDE_CONTROL);
+outb(count & 0xff, IDE_NSECT);
+outb(lba & 0xff, IDE_LBA_LOW);
+outb((lba >> 8) & 0xff, IDE_LBA_MID);
+outb((lba >> 16) & 0xff, IDE_LBA_HIGH);
+outb(DEV_LBA | ((lba >> 24) & 0x0f), IDE_DEVHEAD);
+outb(CMD_READ_MULTI, IDE_COMMAND);
+
+status = inb(IDE_STATUS);
+while (status & STAT_BUSY) {
+    status = inb(IDE_STATUS);
+}
+if (status & STAT_ERR) {
+    status = inb(IDE_FEATURES);
+}
+if (status & STAT_DRQ) {
+    i = 0;
+    while (i < 256) {
+        word = inw(IDE_DATA);
+        i = i + 1;
+    }
+}
+
+outb(BM_INT | BM_ERR, BM_STATUS);
+outl(prd_addr, BM_PRD);
+outb(BM_DIR_READ, BM_COMMAND);
+outb(CMD_READ_DMA, IDE_COMMAND);
+outb(BM_DIR_READ | BM_START, BM_COMMAND);
+bmstat = inb(BM_STATUS);
+outb(BM_DIR_READ, BM_COMMAND);
+if (bmstat & BM_ERR) {
+    status = inb(IDE_STATUS);
+}
+`
+
+// IdeCDevil is the same path through the ide_disk and piix4_busmaster stubs.
+const IdeCDevil = `
+int lba, count, status, err, prd_addr, i, word;
+
+ide_set_nien(INTR_ENABLE);
+ide_set_nsect(count & 0xff);
+ide_set_lba_low(lba & 0xff);
+ide_set_lba_mid((lba >> 8) & 0xff);
+ide_set_lba_high((lba >> 16) & 0xff);
+ide_set_lba_mode(LBA);
+ide_set_drive(0);
+ide_set_head((lba >> 24) & 0x0f);
+ide_get_ide_status();
+ide_set_command(READ_MULTIPLE);
+
+ide_get_ide_status();
+while (ide_get_bsy()) {
+    ide_get_ide_status();
+}
+err = ide_get_error();
+if (ide_get_err()) {
+    err = err | 1;
+}
+if (ide_get_drq()) {
+    i = 0;
+    while (i < 256) {
+        word = ide_get_Ide_data();
+        i = i + 1;
+    }
+}
+
+ide_set_bm_ack_irq(1);
+ide_set_bm_ack_err(1);
+ide_set_prd_addr(prd_addr);
+ide_set_bm_dir(BM_READ);
+ide_set_command(READ_DMA);
+ide_set_bm_start(START);
+ide_get_bm_status();
+ide_set_bm_start(STOP);
+if (ide_get_bm_err()) {
+    err = ide_get_error();
+}
+`
+
+// Ne2000C is the hand-crafted NE2000 hardware operating code: controller
+// start-up, ring-buffer configuration, a transmit, and the receive path of
+// the interrupt handler.
+const Ne2000C = `
+#define NE_BASE 0x300
+#define NE_CMD 0x300
+#define NE_PSTART 0x301
+#define NE_PSTOP 0x302
+#define NE_BNRY 0x303
+#define NE_TPSR 0x304
+#define NE_TBCR0 0x305
+#define NE_TBCR1 0x306
+#define NE_ISR 0x307
+#define NE_RSAR0 0x308
+#define NE_RSAR1 0x309
+#define NE_RBCR0 0x30a
+#define NE_RBCR1 0x30b
+#define NE_RCR 0x30c
+#define NE_TCR 0x30d
+#define NE_DCR 0x30e
+#define NE_IMR 0x30f
+#define NE_DATAPORT 0x310
+#define NE_RESET 0x31f
+#define NE_CURR 0x307
+#define E8390_STOP 0x01
+#define E8390_START 0x02
+#define E8390_TRANS 0x04
+#define E8390_RREAD 0x08
+#define E8390_RWRITE 0x10
+#define E8390_NODMA 0x20
+#define E8390_PAGE0 0x00
+#define E8390_PAGE1 0x40
+#define ENISR_RX 0x01
+#define ENISR_TX 0x02
+#define ENISR_RX_ERR 0x04
+#define ENISR_TX_ERR 0x08
+#define ENISR_OVER 0x10
+#define ENISR_RDC 0x40
+#define ENISR_ALL 0x3f
+#define ENDCR_WORDWIDE 0x01
+#define ENDCR_FIFO8 0x08
+#define ENRCR_BROADCAST 0x04
+#define ENTCR_NORMAL 0x00
+#define TX_START_PG 0x40
+#define RX_START_PG 0x46
+#define RX_STOP_PG 0x80
+
+int isr, curr, bnry, next, length, i, word, txlen;
+
+inb(NE_RESET);
+outb(E8390_NODMA | E8390_PAGE0 | E8390_STOP, NE_CMD);
+outb(ENDCR_WORDWIDE | ENDCR_FIFO8, NE_DCR);
+outb(0x00, NE_RBCR0);
+outb(0x00, NE_RBCR1);
+outb(ENRCR_BROADCAST, NE_RCR);
+outb(ENTCR_NORMAL, NE_TCR);
+outb(RX_START_PG, NE_PSTART);
+outb(RX_START_PG, NE_BNRY);
+outb(RX_STOP_PG, NE_PSTOP);
+outb(ENISR_ALL, NE_ISR);
+outb(ENISR_ALL, NE_IMR);
+outb(E8390_NODMA | E8390_PAGE1 | E8390_STOP, NE_CMD);
+outb(RX_START_PG + 1, NE_CURR);
+outb(E8390_NODMA | E8390_PAGE0 | E8390_START, NE_CMD);
+
+txlen = 60;
+outb(E8390_NODMA | E8390_START, NE_CMD);
+outb(ENISR_RDC, NE_ISR);
+outb(txlen & 0xff, NE_RBCR0);
+outb((txlen >> 8) & 0xff, NE_RBCR1);
+outb(0x00, NE_RSAR0);
+outb(TX_START_PG, NE_RSAR1);
+outb(E8390_RWRITE | E8390_START, NE_CMD);
+i = 0;
+while (i < 30) {
+    outw(word, NE_DATAPORT);
+    i = i + 1;
+}
+isr = inb(NE_ISR);
+while ((isr & ENISR_RDC) == 0) {
+    isr = inb(NE_ISR);
+}
+outb(ENISR_RDC, NE_ISR);
+outb(txlen & 0xff, NE_TBCR0);
+outb((txlen >> 8) & 0xff, NE_TBCR1);
+outb(TX_START_PG, NE_TPSR);
+outb(E8390_NODMA | E8390_TRANS | E8390_START, NE_CMD);
+
+isr = inb(NE_ISR);
+if (isr & ENISR_RX) {
+    outb(E8390_NODMA | E8390_PAGE1, NE_CMD);
+    curr = inb(NE_CURR);
+    outb(E8390_NODMA | E8390_PAGE0, NE_CMD);
+    bnry = inb(NE_BNRY);
+    next = bnry + 1;
+    if (next >= RX_STOP_PG) next = RX_START_PG;
+    while (next != curr) {
+        outb(4, NE_RBCR0);
+        outb(0, NE_RBCR1);
+        outb(0, NE_RSAR0);
+        outb(next, NE_RSAR1);
+        outb(E8390_RREAD | E8390_START, NE_CMD);
+        word = inw(NE_DATAPORT);
+        length = inw(NE_DATAPORT);
+        next = (word >> 8) & 0xff;
+        outb(next - 1, NE_BNRY);
+    }
+    outb(ENISR_RX, NE_ISR);
+}
+`
+
+// Ne2000CDevil is the same code through the ne2000 stubs.
+const Ne2000CDevil = `
+int isr, curr, bnry, next, length, i, word, txlen;
+
+ne_get_reset_pulse();
+ne_set_st(STOP);
+ne_set_dcr_mode(0x09);
+ne_set_rbcr0(0x00);
+ne_set_rbcr1(0x00);
+ne_set_rcr_mode(0x04);
+ne_set_tcr_mode(0x00);
+ne_set_pstart(0x46);
+ne_set_bnry(0x46);
+ne_set_pstop(0x80);
+ne_set_isr_ack(0x3f);
+ne_set_imr_mask(0x3f);
+ne_set_curr(0x47);
+ne_set_st(START);
+
+txlen = 60;
+ne_set_isr_ack(0x40);
+ne_set_rbcr0(txlen & 0xff);
+ne_set_rbcr1((txlen >> 8) & 0xff);
+ne_set_rsar0(0x00);
+ne_set_rsar1(0x40);
+ne_set_rd(RWRITE);
+i = 0;
+while (i < 30) {
+    ne_set_remote_data(word);
+    i = i + 1;
+}
+ne_get_isr();
+while (!ne_get_rdc()) {
+    ne_get_isr();
+}
+ne_set_isr_ack(0x40);
+ne_set_tbcr0(txlen & 0xff);
+ne_set_tbcr1((txlen >> 8) & 0xff);
+ne_set_tpsr(0x40);
+ne_set_txp(TRANSMIT);
+
+ne_get_isr();
+if (ne_get_prx()) {
+    curr = ne_get_curr();
+    bnry = ne_get_bnry();
+    next = bnry + 1;
+    if (next >= 0x80) next = 0x46;
+    while (next != curr) {
+        ne_set_rbcr0(4);
+        ne_set_rbcr1(0);
+        ne_set_rsar0(0);
+        ne_set_rsar1(next);
+        ne_set_rd(RREAD);
+        word = ne_get_remote_data();
+        length = ne_get_remote_data();
+        next = (word >> 8) & 0xff;
+        ne_set_bnry(next - 1);
+    }
+    ne_set_isr_ack(0x01);
+}
+`

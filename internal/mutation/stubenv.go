@@ -1,0 +1,106 @@
+package mutation
+
+import (
+	"fmt"
+
+	"repro/internal/devil/sema"
+	"repro/internal/minic"
+)
+
+// StubEnv derives the C_Devil checking environment from a compiled
+// specification: one typed function per generated stub, plus the enum
+// symbols as typed constants. This is the compile-time knowledge a C
+// compiler has when the driver includes the Devil-generated header —
+// signatures, enum types, and the §3.2 constant range checks.
+func StubEnv(prefix string, devs ...*sema.Device) *minic.Env {
+	env := &minic.Env{
+		Funcs:  map[string]minic.Func{},
+		Consts: map[string]minic.Type{},
+	}
+	// Driver-side helpers available to C_Devil fragments.
+	env.Funcs["udelay"] = minic.Func{Params: []minic.Type{minic.Int}}
+
+	for _, dev := range devs {
+		for _, v := range dev.Variables {
+			if v.Private || v.Cell {
+				continue
+			}
+			t := varType(prefix, v)
+			if v.Readable {
+				name := fmt.Sprintf("%s_get_%s", prefix, v.Name)
+				if v.Struct != nil {
+					// Field getters read the snapshot; same shape.
+					name = fmt.Sprintf("%s_get_%s", prefix, v.Name)
+				}
+				env.Funcs[name] = minic.Func{Result: t}
+			}
+			if v.Writable {
+				env.Funcs[fmt.Sprintf("%s_set_%s", prefix, v.Name)] = minic.Func{Params: []minic.Type{t}}
+			}
+			if v.Block {
+				if v.Readable {
+					env.Funcs[fmt.Sprintf("%s_read_%s_block", prefix, v.Name)] =
+						minic.Func{Params: []minic.Type{minic.Int, minic.Int}}
+				}
+				if v.Writable {
+					env.Funcs[fmt.Sprintf("%s_write_%s_block", prefix, v.Name)] =
+						minic.Func{Params: []minic.Type{minic.Int, minic.Int}}
+				}
+			}
+			if v.Type.Kind == sema.TypeEnum {
+				for _, s := range v.Type.Enum {
+					if _, dup := env.Consts[s.Name]; !dup {
+						env.Consts[s.Name] = t
+					}
+				}
+			}
+		}
+		for _, s := range dev.Structures {
+			if s.Private {
+				continue
+			}
+			readable, writable := true, true
+			for _, step := range s.Order {
+				if !step.Reg.Readable() {
+					readable = false
+				}
+				if !step.Reg.Writable() {
+					writable = false
+				}
+			}
+			if readable {
+				env.Funcs[fmt.Sprintf("%s_get_%s", prefix, s.Name)] = minic.Func{}
+			}
+			if writable {
+				env.Funcs[fmt.Sprintf("%s_write_%s", prefix, s.Name)] = minic.Func{}
+			}
+		}
+	}
+	return env
+}
+
+// varType maps a Devil type to a mini-C stub parameter/result type with
+// compile-time bounds.
+func varType(prefix string, v *sema.Variable) minic.Type {
+	t := v.Type
+	switch t.Kind {
+	case sema.TypeEnum:
+		return minic.Type{Enum: fmt.Sprintf("%s_%s", prefix, v.Name)}
+	case sema.TypeBool:
+		return minic.Type{Bounded: true, Lo: 0, Hi: 1}
+	case sema.TypeUInt:
+		if t.Bits >= 63 {
+			return minic.Int
+		}
+		return minic.Type{Bounded: true, Lo: 0, Hi: int64(1)<<uint(t.Bits) - 1}
+	case sema.TypeSInt:
+		return minic.Type{
+			Bounded: true,
+			Lo:      -(int64(1) << uint(t.Bits-1)),
+			Hi:      int64(1)<<uint(t.Bits-1) - 1,
+		}
+	case sema.TypeIntSet:
+		return minic.Type{Bounded: true, Lo: int64(t.Set.Min()), Hi: int64(t.Set.Max())}
+	}
+	return minic.Int
+}

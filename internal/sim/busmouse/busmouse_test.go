@@ -1,0 +1,74 @@
+package busmouse
+
+import "testing"
+
+func TestHoldLatchesAndClears(t *testing.T) {
+	s := New()
+	s.Move(7, -2)
+	// Select x-low with the hold bit: latches and clears accumulators.
+	s.BusWrite(PortControl, 8, CtlHold|0<<CtlIndexShift)
+	if got := s.BusRead(PortData, 8); got != 7&0xf {
+		t.Errorf("x low nibble = %#x", got)
+	}
+	// Movement during the hold accumulates separately.
+	s.Move(1, 0)
+	s.BusWrite(PortControl, 8, CtlHold|1<<CtlIndexShift)
+	if got := s.BusRead(PortData, 8); got != uint32(uint8(7)>>4) {
+		t.Errorf("x high nibble = %#x", got)
+	}
+	// Release and re-latch: the new movement appears.
+	s.BusWrite(PortControl, 8, 0)
+	s.BusWrite(PortControl, 8, CtlHold)
+	if got := s.BusRead(PortData, 8); got != 1 {
+		t.Errorf("next x low = %#x, want 1", got)
+	}
+}
+
+func TestButtonsRideYHigh(t *testing.T) {
+	s := New()
+	s.SetButtons(0x5)
+	s.Move(0, -16) // y = 0xf0
+	s.BusWrite(PortControl, 8, CtlHold|idxYHigh<<CtlIndexShift)
+	got := s.BusRead(PortData, 8)
+	if got>>5 != 0x5 {
+		t.Errorf("buttons = %#x", got>>5)
+	}
+	if got&0xf != 0xf {
+		t.Errorf("y high nibble = %#x", got&0xf)
+	}
+}
+
+func TestSignatureScratch(t *testing.T) {
+	s := New()
+	s.BusWrite(PortSig, 8, 0xa5)
+	if got := s.BusRead(PortSig, 8); got != 0xa5 {
+		t.Errorf("signature = %#x", got)
+	}
+}
+
+func TestInterruptGating(t *testing.T) {
+	s := New()
+	fired := 0
+	s.IRQ = func() { fired++ }
+	s.BusWrite(PortControl, 8, CtlIntrDisable)
+	s.Move(1, 1)
+	if fired != 0 {
+		t.Error("IRQ fired while disabled")
+	}
+	s.BusWrite(PortControl, 8, 0)
+	s.Move(1, 1)
+	if fired != 1 {
+		t.Errorf("fired = %d", fired)
+	}
+	if !s.Pending() {
+		t.Error("movement should be pending")
+	}
+}
+
+func TestConfigStored(t *testing.T) {
+	s := New()
+	s.BusWrite(PortConfig, 8, 0x91)
+	if s.Config() != 0x91 {
+		t.Errorf("config = %#x", s.Config())
+	}
+}

@@ -1,0 +1,175 @@
+package ne2000
+
+import (
+	"bytes"
+	"testing"
+)
+
+// raw drives the simulator directly (width 8 unless noted).
+func out(s *Sim, off uint32, v uint8) { s.BusWrite(off, 8, uint32(v)) }
+func in(s *Sim, off uint32) uint8     { return uint8(s.BusRead(off, 8)) }
+
+// bringUp performs the canonical start sequence.
+func bringUp(s *Sim) {
+	out(s, RegCmd, CmdSTP|CmdRD2)
+	out(s, 14, 0x09) // DCR
+	out(s, 1, 0x46)  // PSTART
+	out(s, 3, 0x46)  // BNRY
+	out(s, 2, 0x60)  // PSTOP
+	out(s, RegCmd, CmdPage1|CmdRD2|CmdSTP)
+	out(s, 7, 0x47) // CURR
+	out(s, RegCmd, CmdPage0|CmdRD2|CmdSTA)
+}
+
+func remoteWrite(s *Sim, addr int, data []byte) {
+	out(s, 10, uint8(len(data)))
+	out(s, 11, uint8(len(data)>>8))
+	out(s, 8, uint8(addr))
+	out(s, 9, uint8(addr>>8))
+	out(s, RegCmd, CmdSTA|CmdRD1)
+	for i := 0; i < len(data); i += 2 {
+		w := uint32(data[i])
+		if i+1 < len(data) {
+			w |= uint32(data[i+1]) << 8
+		}
+		s.BusWrite(RegData, 16, w)
+	}
+}
+
+func remoteRead(s *Sim, addr, n int) []byte {
+	out(s, 10, uint8(n))
+	out(s, 11, uint8(n>>8))
+	out(s, 8, uint8(addr))
+	out(s, 9, uint8(addr>>8))
+	out(s, RegCmd, CmdSTA|CmdRD0)
+	var buf []byte
+	for i := 0; i < n; i += 2 {
+		w := s.BusRead(RegData, 16)
+		buf = append(buf, byte(w), byte(w>>8))
+	}
+	return buf[:n]
+}
+
+func TestRemoteDMARoundTrip(t *testing.T) {
+	s := New()
+	bringUp(s)
+	data := []byte("0123456789abcdef")
+	remoteWrite(s, 0x4000, data)
+	if in(s, 7)&IsrRDC == 0 {
+		t.Error("RDC not set after remote write completes")
+	}
+	got := remoteRead(s, 0x4000, len(data))
+	if !bytes.Equal(got, data) {
+		t.Errorf("round trip = %q", got)
+	}
+}
+
+func TestTransmitLoopsBack(t *testing.T) {
+	s := New()
+	bringUp(s)
+	frame := make([]byte, 60)
+	for i := range frame {
+		frame[i] = byte(i * 3)
+	}
+	remoteWrite(s, 0x4000, frame)
+	out(s, 7, IsrRDC) // ack
+	out(s, 5, uint8(len(frame)))
+	out(s, 6, uint8(len(frame)>>8))
+	out(s, 4, 0x40) // TPSR
+	out(s, RegCmd, CmdSTA|CmdTXP|CmdRD2)
+
+	if in(s, 7)&IsrPTX == 0 {
+		t.Error("PTX not raised")
+	}
+	if in(s, 7)&IsrPRX == 0 {
+		t.Fatal("loopback frame not received")
+	}
+	// Read the ring header at CURR's previous position (0x47).
+	hdr := remoteRead(s, 0x47*PageSize, 4)
+	if hdr[0]&0x01 == 0 {
+		t.Errorf("receive status = %#x", hdr[0])
+	}
+	total := int(hdr[2]) | int(hdr[3])<<8
+	if total != len(frame)+4 {
+		t.Errorf("ring length = %d, want %d", total, len(frame)+4)
+	}
+	got := remoteRead(s, 0x47*PageSize+4, len(frame))
+	if !bytes.Equal(got, frame) {
+		t.Error("ring payload mismatch")
+	}
+	// CURR advanced past the frame.
+	out(s, RegCmd, CmdPage1|CmdRD2|CmdSTA)
+	if curr := in(s, 7); curr == 0x47 {
+		t.Error("CURR did not advance")
+	}
+}
+
+func TestNeutralCommandPreservesRunState(t *testing.T) {
+	s := New()
+	bringUp(s)
+	// Writing the st field's neutral value 00 must not stop the NIC.
+	out(s, RegCmd, CmdRD2) // STA=0, STP=0
+	if !s.running {
+		t.Error("neutral command value stopped the controller")
+	}
+	out(s, RegCmd, CmdSTP|CmdRD2)
+	if s.running {
+		t.Error("STP did not stop the controller")
+	}
+}
+
+func TestInjectBeforeStartDropped(t *testing.T) {
+	s := New()
+	if s.InjectFrame(make([]byte, 60)) {
+		t.Error("frame accepted before start")
+	}
+}
+
+func TestRingOverflow(t *testing.T) {
+	s := New()
+	bringUp(s)
+	// Fill the ring: 0x46..0x60 is 26 pages; each 252-byte frame takes
+	// one page. BNRY never advances, so delivery must eventually fail
+	// with an overflow.
+	delivered := 0
+	for i := 0; i < 40; i++ {
+		if s.InjectFrame(make([]byte, 200)) {
+			delivered++
+		}
+	}
+	if delivered >= 40 {
+		t.Error("ring never overflowed")
+	}
+	if in(s, 7)&IsrOVW == 0 {
+		t.Error("OVW not raised on overflow")
+	}
+}
+
+func TestResetRaisesRST(t *testing.T) {
+	s := New()
+	bringUp(s)
+	_ = in(s, RegReset)
+	if in(s, 7)&IsrRST == 0 {
+		t.Error("RST flag not set after reset read")
+	}
+	if s.running {
+		t.Error("reset did not stop the controller")
+	}
+}
+
+func TestIRQMasking(t *testing.T) {
+	s := New()
+	fired := 0
+	s.IRQ = func() { fired++ }
+	bringUp(s)
+	out(s, 15, 0x00) // mask everything
+	s.InjectFrame(make([]byte, 60))
+	if fired != 0 {
+		t.Errorf("masked interrupt fired %d times", fired)
+	}
+	out(s, 15, IsrPRX)
+	s.InjectFrame(make([]byte, 60))
+	if fired == 0 {
+		t.Error("unmasked interrupt did not fire")
+	}
+}

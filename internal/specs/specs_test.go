@@ -1,0 +1,28 @@
+package specs_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/devil/codegen"
+	"repro/internal/specs"
+)
+
+// TestAllSpecsCompile keeps the library honest: every specification passes
+// all §3.1 consistency checks and generates valid Go.
+func TestAllSpecsCompile(t *testing.T) {
+	for name, src := range specs.All() {
+		t.Run(name, func(t *testing.T) {
+			spec, err := core.Compile(src)
+			if err != nil {
+				t.Fatalf("compile: %v", err)
+			}
+			if spec.Name != name {
+				t.Errorf("device name %q, map key %q", spec.Name, name)
+			}
+			if _, err := codegen.Generate(spec, codegen.Options{}); err != nil {
+				t.Errorf("codegen: %v", err)
+			}
+		})
+	}
+}
