@@ -4,18 +4,26 @@
 // Usage:
 //
 //	devilc [-check] [-pkg name] [-debug] [-o out.go] spec.dil
+//	devilc -update [-root dir]
 //
 // With -check the specification is only verified (§3.1 properties) and
 // diagnostics are printed. Otherwise Go stubs are written to -o (or stdout).
+//
+// With -update devilc regenerates every checked-in stub package of the
+// specification library (gen.Library) under the repository root given by
+// -root, so the golden files in internal/gen never drift from their
+// internal/specs sources.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 
 	"repro/internal/core"
 	"repro/internal/devil/codegen"
+	"repro/internal/gen"
 )
 
 func main() {
@@ -24,10 +32,24 @@ func main() {
 	debug := flag.Bool("debug", false, "generate with runtime checks enabled")
 	out := flag.String("o", "", "output file (default: stdout)")
 	busImport := flag.String("bus", "", "bus package import path")
+	update := flag.Bool("update", false, "regenerate every checked-in library stub package")
+	root := flag.String("root", ".", "repository root for -update")
 	flag.Parse()
 
+	if *update {
+		if flag.NArg() != 0 {
+			fmt.Fprintln(os.Stderr, "usage: devilc -update [-root dir]")
+			os.Exit(2)
+		}
+		if err := updateLibrary(*root); err != nil {
+			fmt.Fprintln(os.Stderr, "devilc:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: devilc [-check] [-pkg name] [-debug] [-o out.go] spec.dil")
+		fmt.Fprintln(os.Stderr, "usage: devilc [-check] [-pkg name] [-debug] [-o out.go] spec.dil | devilc -update [-root dir]")
 		os.Exit(2)
 	}
 	src, err := os.ReadFile(flag.Arg(0))
@@ -64,4 +86,29 @@ func main() {
 		fmt.Fprintln(os.Stderr, "devilc:", err)
 		os.Exit(1)
 	}
+}
+
+// updateLibrary regenerates the checked-in stub files from the embedded
+// library specifications.
+func updateLibrary(root string) error {
+	for _, s := range gen.Library {
+		spec, err := core.Compile(s.Spec)
+		if err != nil {
+			return fmt.Errorf("%s: %w", s.Path, err)
+		}
+		code, err := codegen.Generate(spec, s.Opts)
+		if err != nil {
+			return fmt.Errorf("%s: %w", s.Path, err)
+		}
+		dst := filepath.Join(root, filepath.FromSlash(s.Path))
+		if old, err := os.ReadFile(dst); err == nil && string(old) == string(code) {
+			fmt.Printf("%s up to date\n", s.Path)
+			continue
+		}
+		if err := os.WriteFile(dst, code, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("%s regenerated\n", s.Path)
+	}
+	return nil
 }

@@ -1,0 +1,135 @@
+package core_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/bus"
+	"repro/internal/core"
+	"repro/internal/specs"
+)
+
+const tinySrc = `
+device tiny (a : bit[8] port @ {0..1})
+{
+    register r = a @ 0 : bit[8];
+    variable v = r : int(8);
+    register q = a @ 1 : bit[8];
+    variable w = q : int(8);
+}
+`
+
+func TestParseOnly(t *testing.T) {
+	dev, err := core.Parse([]byte(tinySrc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dev.Name != "tiny" || len(dev.Decls) != 4 {
+		t.Errorf("dev = %s with %d decls", dev.Name, len(dev.Decls))
+	}
+}
+
+func TestParseSyntaxError(t *testing.T) {
+	_, err := core.Parse([]byte("device ( {"))
+	if err == nil || !strings.Contains(err.Error(), "devil:") {
+		t.Errorf("err = %v, want a devil-prefixed syntax error", err)
+	}
+}
+
+func TestCompileOK(t *testing.T) {
+	spec, err := core.Compile([]byte(tinySrc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Name != "tiny" || spec.Variable("v") == nil || spec.Register("q") == nil {
+		t.Errorf("resolved spec incomplete: %+v", spec)
+	}
+}
+
+func TestCompileSyntaxError(t *testing.T) {
+	// The parse error must surface from Compile before sema runs.
+	_, err := core.Compile([]byte("device d (a : bit[8] port) { register }"))
+	if err == nil {
+		t.Fatal("expected syntax error")
+	}
+}
+
+func TestCompileSemaError(t *testing.T) {
+	// Syntactically valid, semantically broken: the declared offset 1 of
+	// port a is never used.
+	src := `
+device d (a : bit[8] port @ {0..1})
+{
+    register r = a @ 0 : bit[8];
+    variable v = r : int(8);
+}
+`
+	_, err := core.Compile([]byte(src))
+	if err == nil || !strings.Contains(err.Error(), "never used") {
+		t.Errorf("err = %v, want an unused-offset diagnostic", err)
+	}
+}
+
+func TestCheckIsCompileWithoutModel(t *testing.T) {
+	if err := core.Check([]byte(tinySrc)); err != nil {
+		t.Errorf("Check(tiny) = %v", err)
+	}
+	if err := core.Check([]byte("device")); err == nil {
+		t.Error("Check must report syntax errors")
+	}
+}
+
+func TestMustCompileOK(t *testing.T) {
+	if spec := core.MustCompile(specs.Busmouse); spec.Name != "logitech_busmouse" {
+		t.Errorf("spec = %s", spec.Name)
+	}
+}
+
+func TestMustCompilePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustCompile must panic on an invalid specification")
+		}
+	}()
+	core.MustCompile([]byte("not devil at all"))
+}
+
+func TestLinkRoundTrip(t *testing.T) {
+	spec, err := core.Compile([]byte(tinySrc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var clk bus.Clock
+	space := bus.NewSpace("io", &clk, bus.DefaultPortCosts())
+	space.MustMap(0x10, 2, bus.NewRAM(2))
+	dev, err := core.Link(spec, space, map[string]uint32{"a": 0x10}, core.Options{Debug: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dev.Set("v", 0x5a); err != nil {
+		t.Fatal(err)
+	}
+	got, err := dev.Get("v")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 0x5a {
+		t.Errorf("v = %#x, want 0x5a", got)
+	}
+	// The write check configured through core.Options is active.
+	if err := dev.Set("v", 300); err == nil {
+		t.Error("expected range error with Debug on")
+	}
+}
+
+func TestLinkUnknownPort(t *testing.T) {
+	spec, err := core.Compile([]byte(tinySrc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var clk bus.Clock
+	space := bus.NewSpace("io", &clk, bus.DefaultPortCosts())
+	if _, err := core.Link(spec, space, map[string]uint32{}, core.Options{}); err == nil {
+		t.Error("expected missing-base error")
+	}
+}

@@ -75,6 +75,16 @@ func (s *IntSet) Contains(v int) bool {
 	return false
 }
 
+// Count returns the number of members (ranges may overlap; overlapping
+// members count once per range, matching Values).
+func (s *IntSet) Count() int {
+	n := 0
+	for _, r := range s.Ranges {
+		n += r.Hi - r.Lo + 1
+	}
+	return n
+}
+
 // Values enumerates the members in declaration order.
 func (s *IntSet) Values() []int {
 	var vs []int

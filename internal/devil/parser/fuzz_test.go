@@ -1,0 +1,33 @@
+package parser
+
+import (
+	"testing"
+
+	"repro/internal/devil/sema"
+	"repro/internal/specs"
+)
+
+// FuzzParser runs arbitrary bytes through the whole front end: parse, then
+// — when parsing succeeds — resolve and check. Neither stage may panic,
+// and a clean parse of the library specifications must stay clean.
+func FuzzParser(f *testing.F) {
+	for _, src := range specs.All() {
+		f.Add(src)
+	}
+	f.Add([]byte("device d (a : bit[8] port @ {0..3}) { register r = a @ 0 : bit[8]; variable v = r : int(8); }"))
+	f.Add([]byte("device d (a : bit[8] port) { register r = a, mask '10.*-..0' : bit[8]; }"))
+	f.Add([]byte("device d () { structure s = { variable v = r : bool; } serialized as { if (v == true) r; }; }"))
+	f.Add([]byte("device d (a : bit[8] port) { register f (i : int{0..3}) = a, pre {x = i} : bit[8]; register g = f(2); }"))
+	f.Fuzz(func(t *testing.T, src []byte) {
+		dev, errs := Parse(src)
+		if dev == nil {
+			t.Fatal("Parse returned a nil device")
+		}
+		if errs.Err() != nil {
+			return
+		}
+		// A syntactically valid device must survive semantic analysis
+		// without panicking (diagnostics are fine).
+		sema.Resolve(dev)
+	})
+}

@@ -108,8 +108,11 @@ func (p *parser) sync() {
 // ---------------------------------------------------------------------------
 // Device
 
-func (p *parser) parseDevice() *ast.Device {
-	dev := &ast.Device{}
+// parseDevice uses a named return so that the partially populated device
+// survives the bailout recovery below — Parse promises a non-nil AST even
+// when the device header itself is malformed.
+func (p *parser) parseDevice() (dev *ast.Device) {
+	dev = &ast.Device{}
 	defer func() {
 		if r := recover(); r != nil {
 			if _, ok := r.(bailout); !ok {
@@ -441,6 +444,12 @@ func (p *parser) parseChunk(v *ast.Variable) *ast.Chunk {
 			if lo > hi {
 				p.errorf(name.Pos, "bit range must be written high..low (got %d..%d)", hi, lo)
 				lo, hi = hi, lo
+			}
+			// No register is wider than a bus word; diagnose absurd ranges
+			// here instead of materializing billions of bit numbers.
+			if hi-lo >= 64 {
+				p.errorf(name.Pos, "bit range %d..%d is wider than any register", hi, lo)
+				hi = lo
 			}
 			for b := hi; b >= lo; b-- {
 				c.Bits = append(c.Bits, b)

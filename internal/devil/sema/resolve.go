@@ -35,6 +35,26 @@ type resolver struct {
 	errs scanner.ErrorList
 }
 
+// maxSetMembers bounds enumerable integer sets (port offset windows and
+// register-family domains). Later passes and the §3.1 checks enumerate
+// these sets member by member; without the bound a specification such as
+// "port @ {0..2000000000}" would make the compiler allocate billions of
+// values. Real devices decode at most a 64K I/O window.
+const maxSetMembers = 1 << 16
+
+// boundedSet diagnoses an enumerable set with more than maxSetMembers
+// members and reports whether the set is usable.
+func (r *resolver) boundedSet(set *ast.IntSet, what, name string) bool {
+	if set == nil {
+		return true
+	}
+	if n := set.Count(); n > maxSetMembers {
+		r.errorf(set.Pos(), "%s of %s has %d members; at most %d are supported", what, name, n, maxSetMembers)
+		return false
+	}
+	return true
+}
+
 func (r *resolver) errorf(pos token.Pos, format string, args ...any) {
 	r.errs.Add(pos, format, args...)
 }
@@ -62,6 +82,7 @@ func (r *resolver) collect(dev *ast.Device) {
 		if p.Width != 8 && p.Width != 16 && p.Width != 32 {
 			r.errorf(p.NamePos, "port %s: unsupported access width %d (want 8, 16 or 32)", p.Name, p.Width)
 		}
+		r.boundedSet(p.Offsets, "offset set", "port "+p.Name)
 		port := &Port{Name: p.Name, Width: p.Width, Offsets: p.Offsets, Index: i}
 		d.ports[p.Name] = port
 		d.Ports = append(d.Ports, port)
@@ -266,6 +287,12 @@ func (r *resolver) resolveVariable(av *ast.Variable, v *Variable) {
 		v.Width = v.Type.Bits
 		v.Readable, v.Writable = true, true
 		return
+	}
+
+	// Pass 2b enumerates the parameter domain when checking it against the
+	// register family's; drop oversized domains before that loop runs.
+	if !r.boundedSet(v.Domain, "parameter domain", "variable "+v.Name) {
+		v.Domain = nil
 	}
 
 	for _, ac := range av.Chunks {

@@ -1,0 +1,120 @@
+package token
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestLookupRoundTrip checks that every keyword spelling maps to its kind
+// and back: Lookup(k.String()) == k for all keywords.
+func TestLookupRoundTrip(t *testing.T) {
+	count := 0
+	for k := Kind(0); k < keywordEnd; k++ {
+		if !k.IsKeyword() {
+			continue
+		}
+		count++
+		spelling := k.String()
+		if spelling == "" || spelling == fmt.Sprintf("Kind(%d)", int(k)) {
+			t.Errorf("keyword kind %d has no spelling", int(k))
+			continue
+		}
+		if got := Lookup(spelling); got != k {
+			t.Errorf("Lookup(%q) = %v, want %v", spelling, got, k)
+		}
+	}
+	if count == 0 {
+		t.Fatal("no keywords enumerated")
+	}
+}
+
+func TestLookupIdentifiers(t *testing.T) {
+	for _, s := range []string{"base", "x_high", "DEVICE", "Device", "registerx", "int8", ""} {
+		if got := Lookup(s); got != IDENT {
+			t.Errorf("Lookup(%q) = %v, want IDENT", s, got)
+		}
+	}
+}
+
+func TestKindString(t *testing.T) {
+	tests := []struct {
+		k    Kind
+		want string
+	}{
+		{EOF, "EOF"},
+		{IDENT, "IDENT"},
+		{INT, "INT"},
+		{BITS, "BITS"},
+		{AT, "@"},
+		{WRITEMAP, "=>"},
+		{READMAP, "<="},
+		{RWMAP, "<=>"},
+		{DOTDOT, ".."},
+		{DEVICE, "device"},
+		{SERIALIZED, "serialized"},
+		{Kind(9999), "Kind(9999)"},
+	}
+	for _, tt := range tests {
+		if got := tt.k.String(); got != tt.want {
+			t.Errorf("%d.String() = %q, want %q", int(tt.k), got, tt.want)
+		}
+	}
+}
+
+func TestKindClasses(t *testing.T) {
+	if !DEVICE.IsKeyword() || !IF.IsKeyword() {
+		t.Error("device/if must be keywords")
+	}
+	for _, k := range []Kind{IDENT, AT, EOF, ILLEGAL, COMMENT} {
+		if k.IsKeyword() {
+			t.Errorf("%v must not be a keyword", k)
+		}
+	}
+	for _, k := range []Kind{IDENT, INT, BITS} {
+		if !k.IsLiteral() {
+			t.Errorf("%v must be a literal", k)
+		}
+	}
+	for _, k := range []Kind{AT, DEVICE, EOF, COMMENT} {
+		if k.IsLiteral() {
+			t.Errorf("%v must not be a literal", k)
+		}
+	}
+}
+
+func TestPos(t *testing.T) {
+	var zero Pos
+	if zero.IsValid() {
+		t.Error("zero Pos must be invalid")
+	}
+	if got := zero.String(); got != "-" {
+		t.Errorf("zero Pos = %q", got)
+	}
+	p := Pos{Offset: 10, Line: 3, Column: 7}
+	if !p.IsValid() {
+		t.Error("p must be valid")
+	}
+	if got := p.String(); got != "3:7" {
+		t.Errorf("p = %q", got)
+	}
+}
+
+func TestTokenString(t *testing.T) {
+	tests := []struct {
+		tok  Token
+		want string
+	}{
+		{Token{Kind: IDENT, Lit: "base"}, `IDENT("base")`},
+		{Token{Kind: INT, Lit: "0x23c"}, `INT("0x23c")`},
+		{Token{Kind: BITS, Lit: "10.*"}, `BITS("10.*")`},
+		{Token{Kind: COMMENT, Lit: "// hi"}, `COMMENT("// hi")`},
+		{Token{Kind: DEVICE}, "device"},
+		{Token{Kind: RWMAP}, "<=>"},
+		{Token{Kind: EOF}, "EOF"},
+	}
+	for _, tt := range tests {
+		if got := tt.tok.String(); got != tt.want {
+			t.Errorf("Token.String() = %q, want %q", got, tt.want)
+		}
+	}
+}

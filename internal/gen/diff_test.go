@@ -1,0 +1,283 @@
+package gen_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/bus"
+	"repro/internal/core"
+	"repro/internal/devil/exec"
+	genbm "repro/internal/gen/busmouse"
+	genide "repro/internal/gen/ide"
+	simbm "repro/internal/sim/busmouse"
+	simide "repro/internal/sim/ide"
+	"repro/internal/specs"
+)
+
+// The differential tests drive the interpretive executor (package exec) and
+// the compiled stubs (internal/gen) through identical randomized operation
+// sequences against identical simulators, then assert that both back ends
+// produced the same bus trace (operation counts, addresses, and values),
+// returned the same values from every read, and left the device in a
+// bit-identical state. The two implementations share one specification;
+// this is the executable statement that they share one semantics.
+
+// rig is one device-under-test instance: a bus with traced windows over a
+// simulator, plus the values every read returned.
+type rig struct {
+	space  *bus.Space
+	traces []*bus.Trace
+	outs   []int64
+}
+
+func (r *rig) record(v int64) { r.outs = append(r.outs, v) }
+
+func compareRigs(t *testing.T, seed int64, genRig, execRig *rig) {
+	t.Helper()
+	if gs, es := genRig.space.Stats(), execRig.space.Stats(); gs != es {
+		t.Fatalf("seed %d: bus op counts differ: compiled %+v vs interpreted %+v", seed, gs, es)
+	}
+	for w := range genRig.traces {
+		ge, ee := genRig.traces[w].Events, execRig.traces[w].Events
+		if len(ge) != len(ee) {
+			t.Fatalf("seed %d: window %d trace lengths differ: compiled %d vs interpreted %d\n%v\n%v",
+				seed, w, len(ge), len(ee), ge, ee)
+		}
+		for i := range ge {
+			if ge[i] != ee[i] {
+				t.Fatalf("seed %d: window %d op %d differs: compiled %s vs interpreted %s",
+					seed, w, i, ge[i], ee[i])
+			}
+		}
+	}
+	if len(genRig.outs) != len(execRig.outs) {
+		t.Fatalf("seed %d: read counts differ: compiled %d vs interpreted %d",
+			seed, len(genRig.outs), len(execRig.outs))
+	}
+	for i := range genRig.outs {
+		if genRig.outs[i] != execRig.outs[i] {
+			t.Fatalf("seed %d: read %d differs: compiled %#x vs interpreted %#x",
+				seed, i, genRig.outs[i], execRig.outs[i])
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Busmouse
+
+func newBusmouseRig() (*rig, *simbm.Sim) {
+	var clk bus.Clock
+	space := bus.NewSpace("io", &clk, bus.DefaultPortCosts())
+	mouse := simbm.New()
+	trace := &bus.Trace{Inner: mouse}
+	space.MustMap(0x23c, 4, trace)
+	return &rig{space: space, traces: []*bus.Trace{trace}}, mouse
+}
+
+func TestDifferentialBusmouse(t *testing.T) {
+	spec := core.MustCompile(specs.Busmouse)
+	for seed := int64(0); seed < 32; seed++ {
+		genRig, genMouse := newBusmouseRig()
+		execRig, execMouse := newBusmouseRig()
+		genDev := genbm.New(genRig.space, 0x23c)
+		execDev, err := core.Link(spec, execRig.space, map[string]uint32{"base": 0x23c}, exec.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		get := func(name string) int64 {
+			v, err := execDev.Get(name)
+			if err != nil {
+				t.Fatalf("seed %d: Get(%s): %v", seed, name, err)
+			}
+			return v
+		}
+		set := func(name string, v int64) {
+			if err := execDev.Set(name, v); err != nil {
+				t.Fatalf("seed %d: Set(%s): %v", seed, name, err)
+			}
+		}
+
+		rng := rand.New(rand.NewSource(seed))
+		for op := 0; op < 64; op++ {
+			v := rng.Intn(256)
+			switch rng.Intn(8) {
+			case 0:
+				genDev.SetSignature(uint8(v))
+				set("signature", int64(v))
+			case 1:
+				genRig.record(int64(genDev.Signature()))
+				execRig.record(get("signature"))
+			case 2:
+				genDev.SetConfig(genbm.ConfigVal(v & 1))
+				set("config", int64(v&1))
+			case 3:
+				genDev.SetInterrupt(genbm.InterruptVal(v & 1))
+				set("interrupt", int64(v&1))
+			case 4:
+				genDev.ReadMouseState()
+				if err := execDev.ReadStruct("mouse_state"); err != nil {
+					t.Fatalf("seed %d: ReadStruct: %v", seed, err)
+				}
+				genRig.record(int64(genDev.Dx()))
+				genRig.record(int64(genDev.Dy()))
+				genRig.record(int64(genDev.Buttons()))
+				execRig.record(get("dx"))
+				execRig.record(get("dy"))
+				execRig.record(get("buttons"))
+			case 5:
+				dx, dy := rng.Intn(31)-15, rng.Intn(31)-15
+				genMouse.Move(dx, dy)
+				execMouse.Move(dx, dy)
+			case 6:
+				genMouse.SetButtons(uint8(v & 7))
+				execMouse.SetButtons(uint8(v & 7))
+			case 7:
+				// Nothing: vary the spacing between device operations.
+			}
+		}
+		compareRigs(t, seed, genRig, execRig)
+
+		// Bit-identical device state, observed through the raw bus.
+		for off := uint32(0); off < 2; off++ {
+			g, e := genRig.space.In8(0x23c+off), execRig.space.In8(0x23c+off)
+			if g != e {
+				t.Fatalf("seed %d: final device state differs at +%d: %#x vs %#x", seed, off, g, e)
+			}
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// IDE task file
+
+func newIDERig() (*rig, *simide.Disk) {
+	var clk bus.Clock
+	space := bus.NewSpace("io", &clk, bus.DefaultPortCosts())
+	mem := bus.NewRAM(1 << 16)
+	disk := simide.New(&clk, 64, mem)
+	cmd := &bus.Trace{Inner: disk.TaskFile()}
+	ctl := &bus.Trace{Inner: disk.Control()}
+	space.MustMap(0x1f0, 8, cmd)
+	space.MustMap(0x3f6, 1, ctl)
+	return &rig{space: space, traces: []*bus.Trace{cmd, ctl}}, disk
+}
+
+func TestDifferentialIDE(t *testing.T) {
+	spec := core.MustCompile(specs.IDE)
+	for seed := int64(0); seed < 32; seed++ {
+		genRig, _ := newIDERig()
+		execRig, _ := newIDERig()
+		genDev := genide.New(genRig.space, 0x1f0, 0x1f0, 0x1f0, 0x3f6)
+		execDev, err := core.Link(spec, execRig.space, map[string]uint32{
+			"data": 0x1f0, "data32": 0x1f0, "base": 0x1f0, "ctl": 0x3f6,
+		}, exec.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		get := func(name string) int64 {
+			v, err := execDev.Get(name)
+			if err != nil {
+				t.Fatalf("seed %d: Get(%s): %v", seed, name, err)
+			}
+			return v
+		}
+		set := func(name string, v int64) {
+			if err := execDev.Set(name, v); err != nil {
+				t.Fatalf("seed %d: Set(%s): %v", seed, name, err)
+			}
+		}
+
+		rng := rand.New(rand.NewSource(seed ^ 0x1de))
+		for op := 0; op < 96; op++ {
+			v := rng.Intn(256)
+			switch rng.Intn(14) {
+			case 0:
+				genDev.SetFeatures(uint8(v))
+				set("features", int64(v))
+			case 1:
+				genDev.SetNsect(uint8(v))
+				set("nsect", int64(v))
+			case 2:
+				genRig.record(int64(genDev.Nsect()))
+				execRig.record(get("nsect"))
+			case 3:
+				genDev.SetLbaLow(uint8(v))
+				set("lba_low", int64(v))
+				genDev.SetLbaMid(uint8(v >> 1))
+				set("lba_mid", int64(v>>1))
+				genDev.SetLbaHigh(uint8(v >> 2))
+				set("lba_high", int64(v>>2))
+			case 4:
+				genRig.record(int64(genDev.LbaLow()))
+				execRig.record(get("lba_low"))
+				genRig.record(int64(genDev.LbaMid()))
+				execRig.record(get("lba_mid"))
+				genRig.record(int64(genDev.LbaHigh()))
+				execRig.record(get("lba_high"))
+			case 5:
+				genDev.SetLbaMode(genide.LbaModeVal(v & 1))
+				set("lba_mode", int64(v&1))
+			case 6:
+				genDev.SetDrive(uint8(v & 1))
+				set("drive", int64(v&1))
+			case 7:
+				genDev.SetHead(uint8(v & 0xf))
+				set("head", int64(v&0xf))
+			case 8:
+				genRig.record(int64(genDev.Drive()))
+				execRig.record(get("drive"))
+				genRig.record(int64(genDev.Head()))
+				execRig.record(get("head"))
+			case 9:
+				genDev.ReadIdeStatus()
+				if err := execDev.ReadStruct("ide_status"); err != nil {
+					t.Fatalf("seed %d: ReadStruct: %v", seed, err)
+				}
+				for _, f := range []struct {
+					g bool
+					n string
+				}{
+					{genDev.Bsy(), "bsy"}, {genDev.Drdy(), "drdy"},
+					{genDev.Drq(), "drq"}, {genDev.Err(), "err"},
+				} {
+					genRig.record(b2i(f.g))
+					execRig.record(get(f.n))
+				}
+			case 10:
+				genRig.record(int64(genDev.Error()))
+				execRig.record(get("error"))
+			case 11:
+				cmd := genide.CommandRECALIBRATE
+				if v&1 == 1 {
+					cmd = genide.CommandIDENTIFY
+				}
+				genDev.SetCommand(cmd)
+				set("command", int64(cmd))
+			case 12:
+				genRig.record(int64(genDev.IdeData()))
+				execRig.record(get("Ide_data"))
+			case 13:
+				genDev.SetSrst(v&1 == 1)
+				set("srst", int64(v&1))
+				genDev.SetNien(genide.NienVal(v >> 1 & 1))
+				set("nien", int64(v>>1&1))
+			}
+		}
+		compareRigs(t, seed, genRig, execRig)
+
+		// Bit-identical task-file state, observed through the raw bus.
+		for off := uint32(1); off < 8; off++ {
+			g, e := genRig.space.In8(0x1f0+off), execRig.space.In8(0x1f0+off)
+			if g != e {
+				t.Fatalf("seed %d: final task file differs at +%d: %#x vs %#x", seed, off, g, e)
+			}
+		}
+	}
+}
+
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}

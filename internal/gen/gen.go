@@ -1,0 +1,37 @@
+// Package gen holds the compiled Devil stub packages checked into the
+// repository, one subpackage per library specification. Each package is
+// exactly what devilc emits from its internal/specs source;
+// TestCheckedInStubsAreCurrent enforces that, and
+//
+//	go generate ./internal/gen
+//
+// (or "go run repro/cmd/devilc -update" from the repository root)
+// regenerates every file after a specification or code-generator change.
+package gen
+
+//go:generate go run repro/cmd/devilc -update -root ../..
+
+import (
+	"repro/internal/devil/codegen"
+	"repro/internal/specs"
+)
+
+// Stub describes one checked-in generated file: its repository-relative
+// path, the library specification it is compiled from, and the generator
+// options used.
+type Stub struct {
+	Path string
+	Spec []byte
+	Opts codegen.Options
+}
+
+// Library lists every checked-in stub package. devilc -update regenerates
+// the files; gen_test verifies they are byte-identical to what the current
+// compiler produces.
+var Library = []Stub{
+	{"internal/gen/busmouse/busmouse.go", specs.Busmouse, codegen.Options{Package: "busmouse"}},
+	{"internal/gen/ide/ide.go", specs.IDE, codegen.Options{Package: "ide"}},
+	{"internal/gen/piix4/piix4.go", specs.PIIX4, codegen.Options{Package: "piix4"}},
+	{"internal/gen/ne2000/ne2000.go", specs.NE2000, codegen.Options{Package: "ne2000"}},
+	{"internal/gen/permedia2/permedia2.go", specs.Permedia2, codegen.Options{Package: "permedia2"}},
+}

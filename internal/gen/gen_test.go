@@ -6,40 +6,31 @@ package gen_test
 import (
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"repro/internal/core"
 	"repro/internal/devil/codegen"
-	"repro/internal/specs"
+	"repro/internal/gen"
 )
 
-// generated maps checked-in files to their source spec and options.
-var generated = []struct {
-	file string
-	spec []byte
-	opts codegen.Options
-}{
-	{"busmouse/busmouse.go", specs.Busmouse, codegen.Options{Package: "busmouse"}},
-	{"ide/ide.go", specs.IDE, codegen.Options{Package: "ide"}},
-	{"piix4/piix4.go", specs.PIIX4, codegen.Options{Package: "piix4"}},
-	{"ne2000/ne2000.go", specs.NE2000, codegen.Options{Package: "ne2000"}},
-	{"permedia2/permedia2.go", specs.Permedia2, codegen.Options{Package: "permedia2"}},
-}
-
 func TestCheckedInStubsAreCurrent(t *testing.T) {
-	for _, gv := range generated {
-		t.Run(gv.file, func(t *testing.T) {
-			spec := core.MustCompile(gv.spec)
-			want, err := codegen.Generate(spec, gv.opts)
+	for _, gv := range gen.Library {
+		// Library paths are repository-relative; the test runs in
+		// internal/gen.
+		file := strings.TrimPrefix(gv.Path, "internal/gen/")
+		t.Run(file, func(t *testing.T) {
+			spec := core.MustCompile(gv.Spec)
+			want, err := codegen.Generate(spec, gv.Opts)
 			if err != nil {
 				t.Fatal(err)
 			}
-			got, err := os.ReadFile(filepath.FromSlash(gv.file))
+			got, err := os.ReadFile(filepath.FromSlash(file))
 			if err != nil {
 				t.Fatal(err)
 			}
 			if string(got) != string(want) {
-				t.Errorf("%s is stale; regenerate with devilc", gv.file)
+				t.Errorf("%s is stale; regenerate with devilc -update", file)
 			}
 		})
 	}
