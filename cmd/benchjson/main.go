@@ -1,0 +1,241 @@
+// Benchjson converts `go test -bench` output into a JSON benchmark
+// artifact and gates benchmark regressions in CI.
+//
+// Usage:
+//
+//	benchjson [-o BENCH_ci.json] [bench.txt]
+//	benchjson -compare [-threshold 0.20] [-suffix MB/s] old.json new.json
+//
+// The first form parses benchmark result lines (every `-count` repetition
+// becomes one sample) and writes the JSON artifact the CI bench job
+// uploads, so the repository accumulates a benchmark trajectory.
+//
+// The second form compares two artifacts and exits non-zero when any
+// shared metric whose unit ends in -suffix (default "MB/s", the paper's
+// Table 2 throughput unit) regressed by more than -threshold. Higher is
+// assumed to be better for these metrics; benchstat renders the
+// human-readable delta table next to this gate.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// File is the BENCH_ci.json schema: one entry per benchmark name, each
+// metric holding the samples of every -count repetition.
+type File struct {
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+// Benchmark is one benchmark's aggregated samples.
+type Benchmark struct {
+	Name    string               `json:"name"`
+	Runs    int                  `json:"runs"`
+	Metrics map[string][]float64 `json:"metrics"`
+}
+
+func main() {
+	out := flag.String("o", "", "output file (default: stdout)")
+	compare := flag.Bool("compare", false, "compare two JSON artifacts instead of converting")
+	threshold := flag.Float64("threshold", 0.20, "maximum tolerated relative regression in compare mode")
+	suffix := flag.String("suffix", "MB/s", "unit suffix of the gated metrics in compare mode")
+	flag.Parse()
+
+	if *compare {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "usage: benchjson -compare old.json new.json")
+			os.Exit(2)
+		}
+		old, err := readFile(flag.Arg(0))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		cur, err := readFile(flag.Arg(1))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		regressions := Compare(old, cur, *suffix, *threshold, os.Stdout)
+		if regressions > 0 {
+			fmt.Fprintf(os.Stderr, "benchjson: %d metric(s) regressed more than %.0f%%\n",
+				regressions, *threshold*100)
+			os.Exit(1)
+		}
+		return
+	}
+
+	in := os.Stdin
+	if flag.NArg() == 1 {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		in = f
+	} else if flag.NArg() > 1 {
+		fmt.Fprintln(os.Stderr, "usage: benchjson [-o out.json] [bench.txt]")
+		os.Exit(2)
+	}
+
+	file, err := Parse(in)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	data, err := json.MarshalIndent(file, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if *out == "" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+func readFile(path string) (*File, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f File
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &f, nil
+}
+
+// Parse reads `go test -bench` output and aggregates the result lines.
+func Parse(r io.Reader) (*File, error) {
+	byName := map[string]*Benchmark{}
+	var order []string
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		name, iters, metrics, ok := parseLine(sc.Text())
+		if !ok {
+			continue
+		}
+		b := byName[name]
+		if b == nil {
+			b = &Benchmark{Name: name, Metrics: map[string][]float64{}}
+			byName[name] = b
+			order = append(order, name)
+		}
+		b.Runs++
+		b.Metrics["iterations"] = append(b.Metrics["iterations"], float64(iters))
+		for unit, v := range metrics {
+			b.Metrics[unit] = append(b.Metrics[unit], v)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	f := &File{}
+	for _, name := range order {
+		f.Benchmarks = append(f.Benchmarks, *byName[name])
+	}
+	return f, nil
+}
+
+// parseLine decodes one benchmark result line:
+//
+//	BenchmarkName-8   	     100	      1058 ns/op	   751.6 MB/s
+//
+// Names are kept verbatim (including the GOMAXPROCS suffix): a
+// sub-benchmark name may itself end in "-16", so stripping is ambiguous.
+// Compare skips names the two artifacts do not share, so a machine-shape
+// change shows up as missing coverage, never as a false failure.
+func parseLine(line string) (name string, iters int64, metrics map[string]float64, ok bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return "", 0, nil, false
+	}
+	name = fields[0]
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return "", 0, nil, false
+	}
+	metrics = map[string]float64{}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return "", 0, nil, false
+		}
+		metrics[fields[i+1]] = v
+	}
+	return name, iters, metrics, true
+}
+
+func mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Compare reports every gated metric shared by old and cur, returning how
+// many regressed by more than threshold (higher is better for throughput
+// metrics). Benchmarks present on only one side are skipped: renames and
+// additions are not regressions.
+func Compare(old, cur *File, suffix string, threshold float64, w io.Writer) (regressions int) {
+	oldBy := map[string]Benchmark{}
+	for _, b := range old.Benchmarks {
+		oldBy[b.Name] = b
+	}
+	var names []string
+	for _, b := range cur.Benchmarks {
+		if _, ok := oldBy[b.Name]; ok {
+			names = append(names, b.Name)
+		}
+	}
+	sort.Strings(names)
+	curBy := map[string]Benchmark{}
+	for _, b := range cur.Benchmarks {
+		curBy[b.Name] = b
+	}
+	for _, name := range names {
+		ob, cb := oldBy[name], curBy[name]
+		var units []string
+		for unit := range cb.Metrics {
+			if strings.HasSuffix(unit, suffix) && len(ob.Metrics[unit]) > 0 {
+				units = append(units, unit)
+			}
+		}
+		sort.Strings(units)
+		for _, unit := range units {
+			o, c := mean(ob.Metrics[unit]), mean(cb.Metrics[unit])
+			if o <= 0 {
+				continue
+			}
+			delta := (c - o) / o
+			verdict := "ok"
+			if delta < -threshold {
+				verdict = "REGRESSION"
+				regressions++
+			}
+			fmt.Fprintf(w, "%-60s %-14s %12.2f -> %12.2f  %+6.1f%%  %s\n",
+				name, unit, o, c, delta*100, verdict)
+		}
+	}
+	return regressions
+}

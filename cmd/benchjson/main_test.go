@@ -1,0 +1,103 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: repro
+cpu: Intel(R) Xeon(R) Processor @ 2.70GHz
+BenchmarkTable2IDE/dma-16		       3	  11802633 ns/op	        33.39 devil-MB/s	       100.0 ratio-%	        33.39 std-MB/s
+BenchmarkTable2IDE/dma-16		       3	  11638222 ns/op	        33.41 devil-MB/s	       100.0 ratio-%	        33.37 std-MB/s
+BenchmarkDMA8237StubProgram-8  	       3	     13251 ns/op	       751.6 prog-MB/s
+PASS
+ok  	repro	1.003s
+`
+
+func TestParse(t *testing.T) {
+	f, err := Parse(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Benchmarks) != 2 {
+		t.Fatalf("benchmarks = %d, want 2", len(f.Benchmarks))
+	}
+	ide := f.Benchmarks[0]
+	if ide.Name != "BenchmarkTable2IDE/dma-16" {
+		t.Errorf("name = %q", ide.Name)
+	}
+	if ide.Runs != 2 {
+		t.Errorf("runs = %d, want 2 (both -count repetitions)", ide.Runs)
+	}
+	if got := ide.Metrics["devil-MB/s"]; len(got) != 2 || got[0] != 33.39 {
+		t.Errorf("devil-MB/s samples = %v", got)
+	}
+	// Names are kept verbatim, GOMAXPROCS suffix included: sub-benchmark
+	// names may end in "-16" themselves, so stripping is ambiguous.
+	dma := f.Benchmarks[1]
+	if dma.Name != "BenchmarkDMA8237StubProgram-8" {
+		t.Errorf("name = %q, want the raw benchmark name", dma.Name)
+	}
+	if got := dma.Metrics["prog-MB/s"]; len(got) != 1 || got[0] != 751.6 {
+		t.Errorf("prog-MB/s samples = %v", got)
+	}
+}
+
+func TestParseIgnoresNoise(t *testing.T) {
+	f, err := Parse(strings.NewReader("PASS\nok  repro 1s\nBenchmark bad line\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Benchmarks) != 0 {
+		t.Errorf("benchmarks = %v, want none", f.Benchmarks)
+	}
+}
+
+func benchFile(name string, unit string, vals ...float64) *File {
+	return &File{Benchmarks: []Benchmark{
+		{Name: name, Runs: len(vals), Metrics: map[string][]float64{unit: vals}},
+	}}
+}
+
+func TestCompareFlagsRegression(t *testing.T) {
+	old := benchFile("BenchmarkTable2IDE/dma-16", "devil-MB/s", 33.0, 33.4)
+	var out strings.Builder
+
+	// Within the threshold: no regression.
+	cur := benchFile("BenchmarkTable2IDE/dma-16", "devil-MB/s", 30.0)
+	if n := Compare(old, cur, "MB/s", 0.20, &out); n != 0 {
+		t.Errorf("regressions = %d, want 0 for a 10%% dip", n)
+	}
+
+	// Beyond the threshold: flagged.
+	cur = benchFile("BenchmarkTable2IDE/dma-16", "devil-MB/s", 20.0)
+	if n := Compare(old, cur, "MB/s", 0.20, &out); n != 1 {
+		t.Errorf("regressions = %d, want 1 for a 40%% drop", n)
+	}
+	if !strings.Contains(out.String(), "REGRESSION") {
+		t.Error("report does not mark the regression")
+	}
+}
+
+func TestCompareSkipsUnsharedAndOtherUnits(t *testing.T) {
+	old := benchFile("BenchmarkGone", "devil-MB/s", 100)
+	cur := &File{Benchmarks: []Benchmark{
+		{Name: "BenchmarkNew", Runs: 1, Metrics: map[string][]float64{"devil-MB/s": {1}}},
+		{Name: "BenchmarkGone", Runs: 1, Metrics: map[string][]float64{"ns/op": {1}}},
+	}}
+	var out strings.Builder
+	if n := Compare(old, cur, "MB/s", 0.20, &out); n != 0 {
+		t.Errorf("regressions = %d, want 0: unshared benchmarks and non-MB/s units are not gated", n)
+	}
+}
+
+func TestCompareImprovementPasses(t *testing.T) {
+	old := benchFile("B", "std-MB/s", 10)
+	cur := benchFile("B", "std-MB/s", 50)
+	var out strings.Builder
+	if n := Compare(old, cur, "MB/s", 0.20, &out); n != 0 {
+		t.Errorf("regressions = %d, want 0 for an improvement", n)
+	}
+}

@@ -19,7 +19,6 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"path/filepath"
 
 	"repro/internal/core"
 	"repro/internal/devil/codegen"
@@ -91,24 +90,13 @@ func main() {
 // updateLibrary regenerates the checked-in stub files from the embedded
 // library specifications.
 func updateLibrary(root string) error {
-	for _, s := range gen.Library {
-		spec, err := core.Compile(s.Spec)
-		if err != nil {
-			return fmt.Errorf("%s: %w", s.Path, err)
+	results, err := gen.Update(root, gen.Library)
+	for _, r := range results {
+		if r.Changed {
+			fmt.Printf("%s regenerated\n", r.Path)
+		} else {
+			fmt.Printf("%s up to date\n", r.Path)
 		}
-		code, err := codegen.Generate(spec, s.Opts)
-		if err != nil {
-			return fmt.Errorf("%s: %w", s.Path, err)
-		}
-		dst := filepath.Join(root, filepath.FromSlash(s.Path))
-		if old, err := os.ReadFile(dst); err == nil && string(old) == string(code) {
-			fmt.Printf("%s up to date\n", s.Path)
-			continue
-		}
-		if err := os.WriteFile(dst, code, 0o644); err != nil {
-			return err
-		}
-		fmt.Printf("%s regenerated\n", s.Path)
 	}
-	return nil
+	return err
 }

@@ -1,6 +1,9 @@
 package codegen
 
 import (
+	"go/ast"
+	goparser "go/parser"
+	"go/token"
 	"strings"
 	"testing"
 
@@ -82,6 +85,80 @@ func TestGenerateBusmouseCompilesIdempotently(t *testing.T) {
 	} {
 		if !strings.Contains(string(a), want) {
 			t.Errorf("generated code missing %q", want)
+		}
+	}
+}
+
+// TestGenerateMultiStepWritePlans guards against the out := redeclaration
+// bug: a variable or structure whose write plan spans several registers
+// (dma8237's serialized low/high byte pairs, pic8259's guarded ICW
+// sequence) must reuse one out variable per function scope, or the
+// generated file does not compile.
+func TestGenerateMultiStepWritePlans(t *testing.T) {
+	for _, tt := range []struct {
+		name string
+		src  []byte
+		pkg  string
+	}{
+		{"dma8237", specs.DMA8237, "dma8237"},
+		{"pic8259", specs.PIC8259, "pic8259"},
+		{"cs4236", specs.CS4236, "cs4236"},
+	} {
+		t.Run(tt.name, func(t *testing.T) {
+			spec := core.MustCompile(tt.src)
+			code, err := Generate(spec, Options{Package: tt.pkg})
+			if err != nil {
+				t.Fatal(err)
+			}
+			fset := token.NewFileSet()
+			file, err := goparser.ParseFile(fset, tt.pkg+".go", code, 0)
+			if err != nil {
+				t.Fatalf("generated code does not parse: %v", err)
+			}
+			// No function body may define out twice in the same block
+			// scope (":= redeclaration" is a type error go/format does
+			// not catch).
+			for _, decl := range file.Decls {
+				fn, ok := decl.(*ast.FuncDecl)
+				if !ok || fn.Body == nil {
+					continue
+				}
+				checkNoRedeclare(t, fset, fn.Name.Name, fn.Body)
+			}
+		})
+	}
+}
+
+// checkNoRedeclare walks one block and its nested blocks, asserting that
+// no identifier is short-declared twice in the same block.
+func checkNoRedeclare(t *testing.T, fset *token.FileSet, fn string, block *ast.BlockStmt) {
+	t.Helper()
+	declared := map[string]bool{}
+	for _, stmt := range block.List {
+		switch s := stmt.(type) {
+		case *ast.AssignStmt:
+			if s.Tok != token.DEFINE {
+				continue
+			}
+			for _, lhs := range s.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok || id.Name == "_" {
+					continue
+				}
+				if declared[id.Name] {
+					t.Errorf("%s: %s redeclared with := at %s", fn, id.Name, fset.Position(id.Pos()))
+				}
+				declared[id.Name] = true
+			}
+		case *ast.IfStmt:
+			checkNoRedeclare(t, fset, fn, s.Body)
+			if inner, ok := s.Else.(*ast.BlockStmt); ok {
+				checkNoRedeclare(t, fset, fn, inner)
+			}
+		case *ast.BlockStmt:
+			checkNoRedeclare(t, fset, fn, s)
+		case *ast.ForStmt:
+			checkNoRedeclare(t, fset, fn, s.Body)
 		}
 	}
 }

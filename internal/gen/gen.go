@@ -34,4 +34,7 @@ var Library = []Stub{
 	{"internal/gen/piix4/piix4.go", specs.PIIX4, codegen.Options{Package: "piix4"}},
 	{"internal/gen/ne2000/ne2000.go", specs.NE2000, codegen.Options{Package: "ne2000"}},
 	{"internal/gen/permedia2/permedia2.go", specs.Permedia2, codegen.Options{Package: "permedia2"}},
+	{"internal/gen/pic8259/pic8259.go", specs.PIC8259, codegen.Options{Package: "pic8259"}},
+	{"internal/gen/dma8237/dma8237.go", specs.DMA8237, codegen.Options{Package: "dma8237"}},
+	{"internal/gen/cs4236/cs4236.go", specs.CS4236, codegen.Options{Package: "cs4236"}},
 }

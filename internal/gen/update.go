@@ -1,0 +1,49 @@
+package gen
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/core"
+	"repro/internal/devil/codegen"
+)
+
+// UpdateResult reports what Update did for one library stub.
+type UpdateResult struct {
+	Path    string
+	Changed bool
+}
+
+// Update regenerates the checked-in stub files of lib under the repository
+// root: every specification is compiled, the stubs are generated, and the
+// target file is rewritten when its content differs. Missing target
+// directories are created, so adding a device to the library is a one-line
+// manifest change. A specification that fails to compile or generate aborts
+// the update with an error naming the stub path.
+func Update(root string, lib []Stub) ([]UpdateResult, error) {
+	var results []UpdateResult
+	for _, s := range lib {
+		spec, err := core.Compile(s.Spec)
+		if err != nil {
+			return results, fmt.Errorf("%s: specification does not compile: %w", s.Path, err)
+		}
+		code, err := codegen.Generate(spec, s.Opts)
+		if err != nil {
+			return results, fmt.Errorf("%s: %w", s.Path, err)
+		}
+		dst := filepath.Join(root, filepath.FromSlash(s.Path))
+		if old, err := os.ReadFile(dst); err == nil && string(old) == string(code) {
+			results = append(results, UpdateResult{Path: s.Path})
+			continue
+		}
+		if err := os.MkdirAll(filepath.Dir(dst), 0o755); err != nil {
+			return results, fmt.Errorf("%s: %w", s.Path, err)
+		}
+		if err := os.WriteFile(dst, code, 0o644); err != nil {
+			return results, fmt.Errorf("%s: %w", s.Path, err)
+		}
+		results = append(results, UpdateResult{Path: s.Path, Changed: true})
+	}
+	return results, nil
+}

@@ -157,6 +157,38 @@ type Type struct {
 	// range check on generated setters).
 	Bounded bool
 	Lo, Hi  int64
+	// Ranges optionally refines [Lo, Hi] to a union of inclusive ranges
+	// in canonical "lo-hi,lo" form (e.g. "0-17,25" for the CS4236B
+	// extended-register domain): constants falling in a hole are
+	// rejected. A string keeps Type comparable, which the mutation
+	// study's interface-equality check relies on.
+	Ranges string
+}
+
+// Allows reports whether the constant v satisfies the type's bounds,
+// including the holes of a non-contiguous range union.
+func (t Type) Allows(v int64) bool {
+	if !t.Bounded {
+		return true
+	}
+	if v < t.Lo || v > t.Hi {
+		return false
+	}
+	if t.Ranges == "" {
+		return true
+	}
+	for _, r := range strings.Split(t.Ranges, ",") {
+		lo, hi := r, r
+		if i := strings.Index(r, "-"); i > 0 {
+			lo, hi = r[:i], r[i+1:]
+		}
+		lv, err1 := parseInt(lo)
+		hv, err2 := parseInt(hi)
+		if err1 == nil && err2 == nil && v >= lv && v <= hv {
+			return true
+		}
+	}
+	return false
 }
 
 // Int is the untyped-integer type.
@@ -570,7 +602,7 @@ func (c *checker) checkCall(name string) (Type, *int64, error) {
 				return Int, nil, c.errf("argument %d of %s is an integer, got enum %s", i+1, name, a.t.Enum)
 			}
 			// Compile-time range check on constant arguments (§3.2).
-			if p.Bounded && a.v != nil && (*a.v < p.Lo || *a.v > p.Hi) {
+			if a.v != nil && !p.Allows(*a.v) {
 				return Int, nil, c.errf("argument %d of %s out of range [%d,%d]", i+1, name, p.Lo, p.Hi)
 			}
 		}

@@ -289,6 +289,207 @@ if (isr & ENISR_RX) {
 }
 `
 
+// Pic8259C is the hand-crafted 8259A hardware operating code: the ICW
+// initialization sequence, mask programming, and the interrupt handler's
+// IRR poll and specific-EOI path, after the Linux i8259 driver.
+const Pic8259C = `
+#define PIC_CMD 0x20
+#define PIC_DATA 0x21
+#define ICW1_INIT 0x10
+#define ICW1_LEVEL 0x08
+#define ICW1_SINGLE 0x02
+#define ICW1_IC4 0x01
+#define ICW4_8086 0x01
+#define ICW4_AEOI 0x02
+#define OCW3_READ_IRR 0x0a
+#define OCW3_READ_ISR 0x0b
+#define EOI_SPECIFIC 0x60
+
+int mask, irqs, irq, vec;
+
+outb(ICW1_INIT | ICW1_IC4, PIC_CMD);
+outb(0x20, PIC_DATA);
+outb(0x04, PIC_DATA);
+outb(ICW4_8086, PIC_DATA);
+outb(0xfb, PIC_DATA);
+
+outb(OCW3_READ_IRR, PIC_CMD);
+irqs = inb(PIC_CMD);
+irq = 3;
+if (irqs & (1 << irq)) {
+    mask = inb(PIC_DATA);
+    outb(mask | (1 << irq), PIC_DATA);
+    vec = 0x20 + irq;
+    outb(EOI_SPECIFIC | irq, PIC_CMD);
+    outb(OCW3_READ_ISR, PIC_CMD);
+    irqs = inb(PIC_CMD);
+    outb(mask & ~(1 << irq), PIC_DATA);
+}
+`
+
+// Pic8259CDevil is the same handler through the pic8259 stubs: the guarded
+// ICW serialization is one structure write, and the magic OCW encodings
+// disappear into typed setters.
+const Pic8259CDevil = `
+int mask, irqs, irq, vec;
+
+pic_set_lirq(0);
+pic_set_ltim(0);
+pic_set_adi(0);
+pic_set_sngl(CASCADED);
+pic_set_ic4(1);
+pic_set_base_vec(4);
+pic_set_slaves(0x04);
+pic_set_sfnm(0);
+pic_set_buf(0);
+pic_set_aeoi(0);
+pic_set_microprocessor(X8086);
+pic_write_init();
+pic_set_irq_mask(0xfb);
+
+irqs = pic_get_irr();
+irq = 3;
+if (irqs & (1 << irq)) {
+    mask = 0xfb;
+    pic_set_irq_mask(mask | (1 << irq));
+    vec = 0x20 + irq;
+    pic_set_eoi(SPECIFIC_EOI);
+    pic_set_eoi_level(irq);
+    pic_write_eoi_cmd();
+    irqs = pic_get_isr();
+    pic_set_irq_mask(mask & ~(1 << irq));
+}
+`
+
+// Dma8237C is the hand-crafted 8237A channel-programming code: mask the
+// channel, set the mode, clear the flip-flop, write the address and count
+// byte pairs, unmask, and poll for terminal count — after the Linux
+// arch dma.c helpers.
+const Dma8237C = `
+#define DMA_ADDR_0 0x00
+#define DMA_CNT_0 0x01
+#define DMA_STATUS 0x08
+#define DMA_MASK_REG 0x0a
+#define DMA_MODE_REG 0x0b
+#define DMA_CLEAR_FF 0x0c
+#define DMA_MODE_READ 0x44
+#define DMA_MODE_WRITE 0x48
+#define DMA_MASK_ON 0x04
+#define DMA_TC_0 0x01
+
+int addr, len, stat;
+
+outb(DMA_MASK_ON | 0, DMA_MASK_REG);
+outb(DMA_MODE_READ, DMA_MODE_REG);
+outb(0, DMA_CLEAR_FF);
+outb(addr & 0xff, DMA_ADDR_0);
+outb((addr >> 8) & 0xff, DMA_ADDR_0);
+outb(0, DMA_CLEAR_FF);
+outb((len - 1) & 0xff, DMA_CNT_0);
+outb(((len - 1) >> 8) & 0xff, DMA_CNT_0);
+outb(0, DMA_MASK_REG);
+
+stat = inb(DMA_STATUS);
+while (!(stat & DMA_TC_0)) {
+    stat = inb(DMA_STATUS);
+}
+outb(DMA_MASK_ON | 0, DMA_MASK_REG);
+`
+
+// Dma8237CDevil is the same path through the dma8237 stubs: the flip-flop
+// discipline and byte pairing live in the generated serialization, and
+// the mode encodings become enum symbols.
+const Dma8237CDevil = `
+int addr, len, stat;
+
+dma_set_mask_chan(0);
+dma_set_mask_on(1);
+dma_write_single_mask();
+dma_set_chan(0);
+dma_set_xfer(READ_XFER);
+dma_set_auto_init(0);
+dma_set_down(0);
+dma_set_mmode(SINGLE);
+dma_write_mode();
+dma_set_addr0(addr & 0xffff);
+dma_set_count0((len - 1) & 0xffff);
+dma_set_mask_chan(0);
+dma_set_mask_on(0);
+dma_write_single_mask();
+
+dma_get_dma_status();
+stat = dma_get_reached();
+while (!(stat & 1)) {
+    dma_get_dma_status();
+    stat = dma_get_reached();
+}
+dma_set_mask_chan(0);
+dma_set_mask_on(1);
+dma_write_single_mask();
+`
+
+// Cs4236C is the hand-crafted CS4236B mixer code: a plain indexed-register
+// access plus the three-step extended-register walk, after the Linux
+// sound drivers' cs4236 support.
+const Cs4236C = `
+#define WSS_INDEX 0x534
+#define WSS_DATA 0x535
+#define AFE_CTRL2 0x10
+#define X_REG_ADDR 0x17
+#define XRAE 0x08
+#define MONO_MUTE 0x80
+
+int afe, rev;
+
+outb(AFE_CTRL2, WSS_INDEX);
+afe = inb(WSS_DATA);
+outb(afe | 0x08, WSS_DATA);
+
+outb(X_REG_ADDR, WSS_INDEX);
+outb(0x90 | 0x04 | XRAE, WSS_DATA);
+rev = inb(WSS_DATA);
+
+outb(X_REG_ADDR, WSS_INDEX);
+outb(0x00 | XRAE, WSS_DATA);
+outb(0x3f, WSS_DATA);
+outb(X_REG_ADDR, WSS_INDEX);
+outb(0x10 | XRAE, WSS_DATA);
+outb(0x3f | MONO_MUTE, WSS_DATA);
+outb(X_REG_ADDR, WSS_INDEX);
+outb(0x60 | XRAE, WSS_DATA);
+outb(0x20, WSS_DATA);
+outb(X_REG_ADDR, WSS_INDEX);
+outb(0x70 | XRAE, WSS_DATA);
+outb(0x20, WSS_DATA);
+
+outb(X_REG_ADDR, WSS_INDEX);
+afe = inb(WSS_DATA);
+if (afe & 0x01) {
+    outb(AFE_CTRL2, WSS_INDEX);
+}
+`
+
+// Cs4236CDevil is the same code through the cs4236 stubs: the extended
+// register automaton collapses into indexed calls whose argument is
+// range-checked against the X register domain at compile time.
+const Cs4236CDevil = `
+int afe, rev;
+
+afe = cs_get_afe2();
+cs_set_afe2(afe | 0x08);
+
+rev = cs_get_ext(25);
+
+cs_set_ext(0, 0x3f);
+cs_set_ext(1, 0xbf);
+cs_set_ext(6, 0x20);
+cs_set_ext(7, 0x20);
+
+if (cs_get_ACF()) {
+    cs_set_IA(16);
+}
+`
+
 // Ne2000CDevil is the same code through the ne2000 stubs.
 const Ne2000CDevil = `
 int isr, curr, bnry, next, length, i, word, txlen;

@@ -4,7 +4,9 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/core"
 	"repro/internal/minic"
+	"repro/internal/specs"
 )
 
 func TestMutateNumber(t *testing.T) {
@@ -129,7 +131,7 @@ func TestBitOpShare(t *testing.T) {
 		t.Errorf("share = %.2f", share)
 	}
 	// The paper's §1 order of magnitude on the real fragments.
-	for _, src := range []string{BusmouseC, IdeC, Ne2000C} {
+	for _, src := range []string{BusmouseC, IdeC, Ne2000C, Pic8259C, Dma8237C, Cs4236C} {
 		_, _, s := BitOpShare(src)
 		if s < 0.10 || s > 0.45 {
 			t.Errorf("bit-op share %.2f outside the plausible band", s)
@@ -179,8 +181,8 @@ func TestStudyAllDevicesOrdering(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(rows) != 3 {
-		t.Fatalf("rows = %d", len(rows))
+	if len(rows) != 6 {
+		t.Fatalf("rows = %d, want one per library device with a driver fragment", len(rows))
 	}
 	for _, r := range rows {
 		if r.C.UndetectedPerSite() <= r.CDevil.UndetectedPerSite() {
@@ -193,9 +195,71 @@ func TestStudyAllDevicesOrdering(t *testing.T) {
 			t.Errorf("%s: ratio = %.1f", r.Device, r.RatioCDevil())
 		}
 	}
-	// The table renders.
+	// The table renders, new devices included.
 	out := FormatTable(rows)
-	if !strings.Contains(out, "Ethernet (NE2000)") || !strings.Contains(out, "Devil+C_Devil") {
-		t.Error("table formatting incomplete")
+	for _, want := range []string{
+		"Ethernet (NE2000)", "Interrupt (i8259A)", "DMA (i8237A)",
+		"Audio (CS4236B)", "Devil+C_Devil",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table formatting missing %q", want)
+		}
+	}
+}
+
+// TestStudyNewDevices runs the three devices added to close the library
+// (interrupt controller, DMA engine, audio codec) individually, so the
+// short test suite still covers them.
+func TestStudyNewDevices(t *testing.T) {
+	for _, dev := range []string{"i8259", "i8237", "CS4236"} {
+		rows, err := RunStudy(dev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rows) != 1 {
+			t.Fatalf("%s: rows = %d", dev, len(rows))
+		}
+		r := rows[0]
+		if ratio := r.RatioCDevil(); ratio < 2.0 {
+			t.Errorf("%s: C/C_Devil ratio = %.1f, want > 2", r.Device, ratio)
+		}
+		if ups := r.Devil.UndetectedPerSite(); ups > 2.0 {
+			t.Errorf("%s: Devil undetected/site = %.1f, want < 2.0", r.Device, ups)
+		}
+	}
+}
+
+// TestStubEnvParameterizedFamily: the cs4236 ext family stubs take the
+// register index as a compile-time-checked leading argument, so an
+// out-of-domain index is a detected error.
+func TestStubEnvParameterizedFamily(t *testing.T) {
+	dev, err := core.Compile(specs.CS4236)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := StubEnv("cs", dev)
+	fn, ok := env.Funcs["cs_set_ext"]
+	if !ok {
+		t.Fatal("cs_set_ext missing from the stub environment")
+	}
+	if len(fn.Params) != 2 {
+		t.Fatalf("cs_set_ext has %d params, want index + value", len(fn.Params))
+	}
+	if !fn.Params[0].Bounded || fn.Params[0].Hi != 25 {
+		t.Errorf("index param = %+v, want bounded by the {0..17, 25} domain", fn.Params[0])
+	}
+	if fn.Params[0].Ranges != "0-17,25" {
+		t.Errorf("index ranges = %q, want the canonical domain union", fn.Params[0].Ranges)
+	}
+	if err := minic.Check("cs_set_ext(25, 0x3f);", env); err != nil {
+		t.Errorf("in-domain index rejected: %v", err)
+	}
+	if err := minic.Check("cs_set_ext(26, 0x3f);", env); err == nil {
+		t.Error("out-of-bounds index accepted")
+	}
+	// The domain has a hole between 17 and 25: indices inside it are
+	// rejected exactly as the generated stub's §3.2 check would.
+	if err := minic.Check("cs_set_ext(20, 0x3f);", env); err == nil {
+		t.Error("in-hole index accepted")
 	}
 }

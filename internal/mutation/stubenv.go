@@ -2,7 +2,10 @@ package mutation
 
 import (
 	"fmt"
+	"strconv"
+	"strings"
 
+	"repro/internal/devil/ast"
 	"repro/internal/devil/sema"
 	"repro/internal/minic"
 )
@@ -26,16 +29,28 @@ func StubEnv(prefix string, devs ...*sema.Device) *minic.Env {
 				continue
 			}
 			t := varType(prefix, v)
+			// Parameterized register families take the family index as
+			// their leading argument; the index is range-checked at
+			// compile time against the declared domain, holes included
+			// (§3.2).
+			var idx []minic.Type
+			if v.Param != "" {
+				it := minic.Int
+				if v.Domain != nil {
+					it = intSetType(v.Domain)
+				}
+				idx = []minic.Type{it}
+			}
 			if v.Readable {
 				name := fmt.Sprintf("%s_get_%s", prefix, v.Name)
 				if v.Struct != nil {
 					// Field getters read the snapshot; same shape.
 					name = fmt.Sprintf("%s_get_%s", prefix, v.Name)
 				}
-				env.Funcs[name] = minic.Func{Result: t}
+				env.Funcs[name] = minic.Func{Params: idx, Result: t}
 			}
 			if v.Writable {
-				env.Funcs[fmt.Sprintf("%s_set_%s", prefix, v.Name)] = minic.Func{Params: []minic.Type{t}}
+				env.Funcs[fmt.Sprintf("%s_set_%s", prefix, v.Name)] = minic.Func{Params: append(idx, t)}
 			}
 			if v.Block {
 				if v.Readable {
@@ -100,7 +115,26 @@ func varType(prefix string, v *sema.Variable) minic.Type {
 			Hi:      int64(1)<<uint(t.Bits-1) - 1,
 		}
 	case sema.TypeIntSet:
-		return minic.Type{Bounded: true, Lo: int64(t.Set.Min()), Hi: int64(t.Set.Max())}
+		return intSetType(t.Set)
 	}
 	return minic.Int
+}
+
+// intSetType maps a Devil integer set to a bounded mini-C type. A
+// non-contiguous set also carries its canonical range union, so constants
+// in the holes are rejected exactly as the generated stub check would.
+func intSetType(set *ast.IntSet) minic.Type {
+	t := minic.Type{Bounded: true, Lo: int64(set.Min()), Hi: int64(set.Max())}
+	if len(set.Ranges) > 1 {
+		var parts []string
+		for _, r := range set.Ranges {
+			if r.Lo == r.Hi {
+				parts = append(parts, strconv.Itoa(r.Lo))
+			} else {
+				parts = append(parts, fmt.Sprintf("%d-%d", r.Lo, r.Hi))
+			}
+		}
+		t.Ranges = strings.Join(parts, ",")
+	}
+	return t
 }

@@ -72,6 +72,27 @@ var studies = []study{
 		stubSrc: Ne2000CDevil,
 		prefix:  "ne",
 	},
+	{
+		device:  "Interrupt (i8259A)",
+		cSrc:    Pic8259C,
+		specs:   [][]byte{specs.PIC8259},
+		stubSrc: Pic8259CDevil,
+		prefix:  "pic",
+	},
+	{
+		device:  "DMA (i8237A)",
+		cSrc:    Dma8237C,
+		specs:   [][]byte{specs.DMA8237},
+		stubSrc: Dma8237CDevil,
+		prefix:  "dma",
+	},
+	{
+		device:  "Audio (CS4236B)",
+		cSrc:    Cs4236C,
+		specs:   [][]byte{specs.CS4236},
+		stubSrc: Cs4236CDevil,
+		prefix:  "cs",
+	},
 }
 
 // RunStudy executes the complete Table 1 experiment for one device by

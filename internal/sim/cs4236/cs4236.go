@@ -1,0 +1,125 @@
+// Package cs4236 simulates the Crystal CS4236B audio controller's indexed
+// register file — the automata-based addressing example of the paper's
+// §2.2 ("one of the most complex" chips the paper studied).
+//
+// The device occupies two 8-bit ports:
+//
+//	base+0  R0, the index/control register: the bottom five bits select
+//	        which indexed register the data port addresses.
+//	base+1  the data port: indexed register I(IA), or — after I23 was
+//	        written with XRAE set — the extended register X(XA).
+//
+// The quirk the Devil specification captures with a parameterized register
+// family and a private mode cell is the three-step extended-register
+// automaton: writing I23 with the extended-register-access enable bit
+// turns the data port into a window onto the extended register named by
+// the XA field, and any write to the index register drops back to plain
+// indexed addressing.
+package cs4236
+
+import "sync"
+
+// Port offsets relative to the device base.
+const (
+	PortIndex = 0 // R0: index/control
+	PortData  = 1 // indexed or extended data
+)
+
+// I23 (extended register address) fields.
+const (
+	I23ACF      = 0x01 // ADC compare flag
+	I23Reserved = 0x02 // must be written as zero
+	I23XA4      = 0x04 // extended address bit 4
+	I23XRAE     = 0x08 // extended register access enable
+	I23XAMask   = 0xf0 // extended address bits 3..0
+	ExtIndex    = 23   // the index holding the extended window
+)
+
+// Sim is a simulated CS4236B register file. It implements bus.Handler
+// over a 2-port window. The zero value has index 0 selected and extended
+// addressing disabled.
+type Sim struct {
+	mu sync.Mutex
+
+	control uint8 // last value written to R0; IA is the bottom five bits
+	indexed [32]uint8
+	ext     [32]uint8
+	xa      uint8 // latched extended address
+	xm      bool  // the mode cell: data port is an extended data window
+}
+
+// New returns a codec with all registers zeroed.
+func New() *Sim { return &Sim{} }
+
+// IA returns the selected index.
+func (s *Sim) IA() uint8 { s.mu.Lock(); defer s.mu.Unlock(); return s.control & 0x1f }
+
+// Extended reports whether the data port currently addresses an extended
+// register (the specification's xm mode cell).
+func (s *Sim) Extended() bool { s.mu.Lock(); defer s.mu.Unlock(); return s.xm }
+
+// Indexed returns indexed register i without touching the automaton.
+func (s *Sim) Indexed(i int) uint8 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.indexed[i&0x1f]
+}
+
+// Ext returns extended register j without touching the automaton.
+func (s *Sim) Ext(j int) uint8 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ext[j&0x1f]
+}
+
+// SetExt backdoor-sets extended register j, as codec-internal state
+// updates (volume sliders, AFE results) would.
+func (s *Sim) SetExt(j int, v uint8) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.ext[j&0x1f] = v
+}
+
+// BusRead implements bus.Handler.
+func (s *Sim) BusRead(offset uint32, width int) uint32 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch offset {
+	case PortIndex:
+		return uint32(s.control)
+	case PortData:
+		if s.xm {
+			return uint32(s.ext[s.xa&0x1f])
+		}
+		return uint32(s.indexed[s.control&0x1f])
+	}
+	return 0xff
+}
+
+// BusWrite implements bus.Handler.
+func (s *Sim) BusWrite(offset uint32, width int, v uint32) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b := uint8(v)
+	switch offset {
+	case PortIndex:
+		// Any index write drops the extended-data mode: I23 is an address
+		// register again.
+		s.control = b
+		s.xm = false
+	case PortData:
+		switch {
+		case s.xm:
+			s.ext[s.xa&0x1f] = b
+		case s.control&0x1f == ExtIndex:
+			// I23: latch the extended address, arm the window when XRAE
+			// is set. The reserved bit reads back as zero.
+			b &^= I23Reserved
+			s.indexed[ExtIndex] = b
+			s.xa = (b&I23XA4)<<2 | b>>4&0xf
+			s.xm = b&I23XRAE != 0
+		default:
+			s.indexed[s.control&0x1f] = b
+		}
+	}
+}

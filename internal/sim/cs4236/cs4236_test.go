@@ -1,0 +1,106 @@
+package cs4236
+
+import "testing"
+
+// TestIndexedRegisterWindow is the base automaton: the index written to R0
+// selects which register the data port addresses, and the selection holds
+// until R0 is rewritten.
+func TestIndexedRegisterWindow(t *testing.T) {
+	s := New()
+	s.BusWrite(PortIndex, 8, 5)
+	s.BusWrite(PortData, 8, 0x3c)
+	s.BusWrite(PortIndex, 8, 7)
+	s.BusWrite(PortData, 8, 0x99)
+	if got := s.Indexed(5); got != 0x3c {
+		t.Errorf("I5 = %#x, want 0x3c", got)
+	}
+	if got := s.Indexed(7); got != 0x99 {
+		t.Errorf("I7 = %#x, want 0x99", got)
+	}
+	// Re-select and read back through the window.
+	s.BusWrite(PortIndex, 8, 5)
+	if got := s.BusRead(PortData, 8); got != 0x3c {
+		t.Errorf("window read = %#x, want 0x3c", got)
+	}
+	// Consecutive data accesses hit the same register (no auto-increment).
+	if got := s.BusRead(PortData, 8); got != 0x3c {
+		t.Errorf("second window read = %#x, want 0x3c", got)
+	}
+}
+
+// TestExtendedRegisterAutomaton is the §2.2 three-step automaton: writing
+// I23 with XRAE set turns the data port into a window onto extended
+// register XA; writing R0 drops back to indexed addressing.
+func TestExtendedRegisterAutomaton(t *testing.T) {
+	s := New()
+	// Program I23: XA = 5 (bits 7..4 carry XA3..0, bit 2 carries XA4),
+	// XRAE set.
+	s.BusWrite(PortIndex, 8, ExtIndex)
+	s.BusWrite(PortData, 8, 5<<4|I23XRAE)
+	if !s.Extended() {
+		t.Fatal("XRAE write must arm the extended window")
+	}
+	s.BusWrite(PortData, 8, 0x77) // extended data
+	if got := s.Ext(5); got != 0x77 {
+		t.Errorf("X5 = %#x, want 0x77", got)
+	}
+	if got := s.Indexed(5); got != 0 {
+		t.Errorf("I5 = %#x, the extended write must not touch indexed space", got)
+	}
+	// An index write drops the mode: the data port is indexed again.
+	s.BusWrite(PortIndex, 8, 5)
+	if s.Extended() {
+		t.Fatal("index write must drop the extended mode")
+	}
+	s.BusWrite(PortData, 8, 0x11)
+	if got, want := s.Indexed(5), uint8(0x11); got != want {
+		t.Errorf("I5 = %#x, want %#x", got, want)
+	}
+	if got := s.Ext(5); got != 0x77 {
+		t.Errorf("X5 = %#x, want 0x77 untouched", got)
+	}
+}
+
+func TestExtendedAddressBit4(t *testing.T) {
+	s := New()
+	// XA = 17 = 0b10001: bit 4 travels in I23 bit 2.
+	s.BusWrite(PortIndex, 8, ExtIndex)
+	s.BusWrite(PortData, 8, (17&0xf)<<4|I23XA4|I23XRAE)
+	s.BusWrite(PortData, 8, 0x42)
+	if got := s.Ext(17); got != 0x42 {
+		t.Errorf("X17 = %#x, want 0x42", got)
+	}
+}
+
+func TestI23ReservedBitForcedZero(t *testing.T) {
+	s := New()
+	s.BusWrite(PortIndex, 8, ExtIndex)
+	s.BusWrite(PortData, 8, 0xff) // reserved bit 1 set by a buggy driver
+	if got := s.Indexed(ExtIndex) & I23Reserved; got != 0 {
+		t.Errorf("reserved bit reads back as %#x, want 0", got)
+	}
+}
+
+func TestWithoutXRAEDataPortStaysIndexed(t *testing.T) {
+	s := New()
+	s.BusWrite(PortIndex, 8, ExtIndex)
+	s.BusWrite(PortData, 8, 5<<4) // XA latched, XRAE clear
+	if s.Extended() {
+		t.Fatal("extended mode armed without XRAE")
+	}
+	// The data port still addresses I23 itself.
+	s.BusWrite(PortData, 8, 6<<4)
+	if got := s.Indexed(ExtIndex); got != 6<<4 {
+		t.Errorf("I23 = %#x, want %#x", got, 6<<4)
+	}
+}
+
+func TestBackdoorExt(t *testing.T) {
+	s := New()
+	s.SetExt(25, 0x5a)
+	s.BusWrite(PortIndex, 8, ExtIndex)
+	s.BusWrite(PortData, 8, (25&0xf)<<4|I23XA4|I23XRAE)
+	if got := s.BusRead(PortData, 8); got != 0x5a {
+		t.Errorf("X25 through the window = %#x, want 0x5a", got)
+	}
+}

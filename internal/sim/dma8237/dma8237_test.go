@@ -1,0 +1,121 @@
+package dma8237
+
+import "testing"
+
+func write16(s *Sim, port uint32, v uint16) {
+	s.BusWrite(PortClearFF, 8, 0)
+	s.BusWrite(port, 8, uint32(v&0xff))
+	s.BusWrite(port, 8, uint32(v>>8))
+}
+
+// TestFlipFlopBytePairing is the §2.2 quirk: ONE flip-flop orders the
+// low/high bytes for both 16-bit data ports, so interleaving an address
+// byte into a count pair scrambles both registers unless the flip-flop is
+// cleared first.
+func TestFlipFlopBytePairing(t *testing.T) {
+	s := New()
+	write16(s, PortAddr0, 0x1234)
+	if got := s.BaseAddr0(); got != 0x1234 {
+		t.Fatalf("addr = %#x, want 0x1234", got)
+	}
+	write16(s, PortCount0, 0xbeef)
+	if got := s.BaseCount0(); got != 0xbeef {
+		t.Fatalf("count = %#x, want 0xbeef", got)
+	}
+
+	// The hazard: write the address low byte, then (without clearing the
+	// flip-flop) a count byte — it lands in the count HIGH half, because
+	// the flip-flop is shared.
+	s = New()
+	s.BusWrite(PortClearFF, 8, 0)
+	s.BusWrite(PortAddr0, 8, 0x11) // low byte; flip-flop now points high
+	s.BusWrite(PortCount0, 8, 0x22)
+	if got := s.BaseCount0(); got != 0x2200 {
+		t.Errorf("interleaved count = %#x, want 0x2200 (shared flip-flop)", got)
+	}
+}
+
+func TestClearFlipFlopResyncs(t *testing.T) {
+	s := New()
+	s.BusWrite(PortClearFF, 8, 0)
+	s.BusWrite(PortAddr0, 8, 0xaa) // leave the flip-flop pointing high
+	if !s.FlipFlop() {
+		t.Fatal("flip-flop should point at the high byte")
+	}
+	// Any write to the clear port — the value is ignored — resyncs.
+	s.BusWrite(PortClearFF, 8, 0x5a)
+	if s.FlipFlop() {
+		t.Fatal("flip-flop not cleared")
+	}
+	write16(s, PortAddr0, 0x4000)
+	if got := s.BaseAddr0(); got != 0x4000 {
+		t.Errorf("addr = %#x after resync", got)
+	}
+}
+
+func TestReadbackUsesFlipFlop(t *testing.T) {
+	s := New()
+	write16(s, PortAddr0, 0xcafe)
+	s.BusWrite(PortClearFF, 8, 0)
+	lo := s.BusRead(PortAddr0, 8)
+	hi := s.BusRead(PortAddr0, 8)
+	if lo != 0xfe || hi != 0xca {
+		t.Errorf("readback = %#x,%#x, want 0xfe,0xca", lo, hi)
+	}
+}
+
+func TestMaskModeAndTransfer(t *testing.T) {
+	s := New()
+	if !s.Masked(0) {
+		t.Fatal("channels must come up masked")
+	}
+	write16(s, PortAddr0, 0x100)
+	write16(s, PortCount0, 3) // N+1 = 4 words
+	s.BusWrite(PortMode, 8, ModeXferRead|0)
+	s.BusWrite(PortMask, 8, 0) // clear channel 0 mask
+	if s.Masked(0) {
+		t.Fatal("mask clear ignored")
+	}
+	if got := s.Transfer(10); got != 4 {
+		t.Errorf("transferred %d words, want 4 (count+1)", got)
+	}
+	// Terminal count: status bit 0 set, channel masked again.
+	if got := s.BusRead(PortStatus, 8); got&0x0f != 0x01 {
+		t.Errorf("status = %#x, want TC on channel 0", got)
+	}
+	// Reading the status cleared the TC flags.
+	if got := s.BusRead(PortStatus, 8); got&0x0f != 0 {
+		t.Errorf("status = %#x, want TC cleared by read", got)
+	}
+	if !s.Masked(0) {
+		t.Error("channel must mask itself at terminal count")
+	}
+}
+
+func TestAutoInitReloads(t *testing.T) {
+	s := New()
+	write16(s, PortAddr0, 0x2000)
+	write16(s, PortCount0, 1)
+	s.BusWrite(PortMode, 8, ModeXferWrite|ModeAutoInit|0)
+	s.BusWrite(PortMask, 8, 0)
+	s.Transfer(2)
+	if s.Masked(0) {
+		t.Error("auto-init channel must stay unmasked at TC")
+	}
+	// The current registers reloaded: another full run is possible.
+	if got := s.Transfer(2); got != 2 {
+		t.Errorf("second run transferred %d, want 2", got)
+	}
+}
+
+func TestRequestFlags(t *testing.T) {
+	s := New()
+	s.Request(2, true)
+	if got := s.BusRead(PortStatus, 8); got>>4 != 1<<2 {
+		t.Errorf("requests = %#x", got>>4)
+	}
+	s.Request(2, false)
+	if got := s.BusRead(PortStatus, 8); got>>4 != 0 {
+		t.Errorf("requests = %#x after drop", got>>4)
+	}
+}

@@ -1,0 +1,145 @@
+package pic8259
+
+import "testing"
+
+// initSeq writes ICW1 on the command port and the following words on the
+// data port, as a driver would.
+func initSeq(s *Sim, icw1 uint8, words ...uint8) {
+	s.BusWrite(PortCmd, 8, uint32(icw1))
+	for _, w := range words {
+		s.BusWrite(PortData, 8, uint32(w))
+	}
+}
+
+// TestICWSequenceOrdering is the §2.2 quirk: how many words the automaton
+// consumes from port 1 depends on the SNGL and IC4 bits carried by ICW1,
+// and only after the announced words have arrived do data-port writes
+// reach the interrupt mask.
+func TestICWSequenceOrdering(t *testing.T) {
+	// Cascaded + IC4: ICW2, ICW3 and ICW4 are all consumed.
+	s := New()
+	initSeq(s, ICW1Select|ICW1IC4, 0x20, 0x04, 0x01)
+	if !s.Operational() {
+		t.Fatal("controller not operational after ICW1..4")
+	}
+	if got := s.VectorBase(); got != 0x20 {
+		t.Errorf("vector base = %#x, want 0x20", got)
+	}
+	if got := s.Slaves(); got != 0x04 {
+		t.Errorf("slaves = %#x, want 0x04", got)
+	}
+	// The next data-port write is OCW1.
+	s.BusWrite(PortData, 8, 0xfb)
+	if got := s.IMR(); got != 0xfb {
+		t.Errorf("mask = %#x, want 0xfb", got)
+	}
+
+	// Single mode without IC4: only ICW2 is consumed; the very next
+	// data-port write already programs the mask.
+	s = New()
+	initSeq(s, ICW1Select|ICW1Single, 0x40)
+	if !s.Operational() {
+		t.Fatal("single-mode controller not operational after ICW2")
+	}
+	s.BusWrite(PortData, 8, 0xaa)
+	if got := s.IMR(); got != 0xaa {
+		t.Errorf("mask = %#x, want 0xaa (ICW3/ICW4 must be skipped)", got)
+	}
+	if got := s.Slaves(); got != 0 {
+		t.Errorf("slaves = %#x, want 0 (no ICW3 in single mode)", got)
+	}
+}
+
+func TestICW1RestartsSequence(t *testing.T) {
+	s := New()
+	initSeq(s, ICW1Select|ICW1Single, 0x40)
+	s.BusWrite(PortData, 8, 0x55) // OCW1
+	// A new ICW1 mid-operation restarts the automaton and clears the
+	// mask, as after reset.
+	s.BusWrite(PortCmd, 8, ICW1Select|ICW1Single)
+	if s.Operational() {
+		t.Fatal("ICW1 must re-arm the init sequence")
+	}
+	s.BusWrite(PortData, 8, 0x60) // lands in ICW2, not the mask
+	if got := s.VectorBase(); got != 0x60 {
+		t.Errorf("vector base = %#x, want 0x60", got)
+	}
+	if got := s.IMR(); got != 0 {
+		t.Errorf("mask = %#x, want 0 after re-init", got)
+	}
+}
+
+func TestOCW3ReadSelect(t *testing.T) {
+	s := New()
+	initSeq(s, ICW1Select|ICW1Single, 0x08)
+	s.BusWrite(PortData, 8, 0x00) // unmask everything
+	s.Raise(3)
+	s.Raise(5)
+
+	// OCW3 with RIS=0: command-port reads deliver the IRR.
+	s.BusWrite(PortCmd, 8, OCW3Select|OCW3RR)
+	if got := s.BusRead(PortCmd, 8); got != 1<<3|1<<5 {
+		t.Errorf("IRR = %#x", got)
+	}
+	// Acknowledge: IRQ3 (higher priority) moves to the ISR.
+	vec, ok := s.Ack()
+	if !ok || vec != 0x08|3 {
+		t.Fatalf("ack = %#x,%v, want vector 0x0b", vec, ok)
+	}
+	// OCW3 with RIS=1: the same port now delivers the ISR.
+	s.BusWrite(PortCmd, 8, OCW3Select|OCW3RR|OCW3RIS)
+	if got := s.BusRead(PortCmd, 8); got != 1<<3 {
+		t.Errorf("ISR = %#x, want IRQ3 in service", got)
+	}
+	// Without the RR bit the selector must hold.
+	s.BusWrite(PortCmd, 8, OCW3Select)
+	if got := s.BusRead(PortCmd, 8); got != 1<<3 {
+		t.Errorf("read selector did not hold: %#x", got)
+	}
+}
+
+func TestEOICommands(t *testing.T) {
+	s := New()
+	initSeq(s, ICW1Select|ICW1Single, 0x08)
+	s.BusWrite(PortData, 8, 0x00)
+	s.Raise(2)
+	s.Raise(6)
+	s.Ack()
+	s.Ack()
+	if got := s.ISR(); got != 1<<2|1<<6 {
+		t.Fatalf("ISR = %#x", got)
+	}
+	// Non-specific EOI retires the highest-priority in-service level.
+	s.BusWrite(PortCmd, 8, EOINonspec)
+	if got := s.ISR(); got != 1<<6 {
+		t.Errorf("ISR after non-specific EOI = %#x, want IRQ6 only", got)
+	}
+	// Specific EOI names the level.
+	s.BusWrite(PortCmd, 8, EOISpecific|6)
+	if got := s.ISR(); got != 0 {
+		t.Errorf("ISR after specific EOI = %#x, want empty", got)
+	}
+}
+
+func TestMaskGatesAckAndINT(t *testing.T) {
+	s := New()
+	fired := 0
+	s.INT = func() { fired++ }
+	initSeq(s, ICW1Select|ICW1Single, 0x08)
+	s.BusWrite(PortData, 8, 0xff) // everything masked
+	s.Raise(1)
+	if fired != 0 {
+		t.Error("INT fired while masked")
+	}
+	if _, ok := s.Ack(); ok {
+		t.Error("masked request was acknowledged")
+	}
+	s.BusWrite(PortData, 8, 0x00)
+	s.Raise(1)
+	if fired != 1 {
+		t.Errorf("INT fired %d times, want 1", fired)
+	}
+	if vec, ok := s.Ack(); !ok || vec != 0x08|1 {
+		t.Errorf("ack = %#x,%v", vec, ok)
+	}
+}
