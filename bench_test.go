@@ -123,6 +123,28 @@ func BenchmarkTable3Rectangles(b *testing.B) { gfxBench(b, false) }
 func BenchmarkTable4ScreenCopies(b *testing.B) { gfxBench(b, true) }
 
 // ---------------------------------------------------------------------------
+// Table 5: the sound-DMA pipeline (cs4236 + dma8237 + pic8259). One
+// benchmark per configuration; the reported MB/s metrics are simulated
+// (virtual-clock) playback throughput for both drivers, so the CI bench
+// gate guards the pipeline's trajectory.
+
+func BenchmarkTable5(b *testing.B) {
+	for _, cfg := range experiments.Table5Configs() {
+		b.Run(cfg.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				r, err := experiments.Table5Row(cfg, 4)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(r.StdMBs, "std-MB/s")
+				b.ReportMetric(r.DevilMBs, "devil-MB/s")
+				b.ReportMetric(r.Ratio*100, "ratio-%")
+			}
+		})
+	}
+}
+
+// ---------------------------------------------------------------------------
 // §4.3 micro-analysis: a compiled Devil stub costs the same as the
 // hand-crafted access it replaces. These two pairs measure real (wall-clock)
 // cost of the generated code against raw bus calls.

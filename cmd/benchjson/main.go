@@ -4,7 +4,7 @@
 // Usage:
 //
 //	benchjson [-o BENCH_ci.json] [bench.txt]
-//	benchjson -compare [-threshold 0.20] [-suffix MB/s] old.json new.json
+//	benchjson -compare [-threshold 0.20] [-suffix MB/s] [-allow-missing] old.json new.json
 //
 // The first form parses benchmark result lines (every `-count` repetition
 // becomes one sample) and writes the JSON artifact the CI bench job
@@ -15,6 +15,11 @@
 // Table 2 throughput unit) regressed by more than -threshold. Higher is
 // assumed to be better for these metrics; benchstat renders the
 // human-readable delta table next to this gate.
+//
+// A gated metric present in the baseline but absent from the current run
+// is also a failure: a deleted benchmark would otherwise silently delete
+// its own regression protection. Intentional removals pass -allow-missing,
+// which reports the lost coverage but exits zero.
 package main
 
 import (
@@ -47,6 +52,8 @@ func main() {
 	compare := flag.Bool("compare", false, "compare two JSON artifacts instead of converting")
 	threshold := flag.Float64("threshold", 0.20, "maximum tolerated relative regression in compare mode")
 	suffix := flag.String("suffix", "MB/s", "unit suffix of the gated metrics in compare mode")
+	allowMissing := flag.Bool("allow-missing", false,
+		"tolerate gated baseline metrics absent from the current run (intentional benchmark removals)")
 	flag.Parse()
 
 	if *compare {
@@ -64,13 +71,8 @@ func main() {
 			fmt.Fprintln(os.Stderr, "benchjson:", err)
 			os.Exit(1)
 		}
-		regressions := Compare(old, cur, *suffix, *threshold, os.Stdout)
-		if regressions > 0 {
-			fmt.Fprintf(os.Stderr, "benchjson: %d metric(s) regressed more than %.0f%%\n",
-				regressions, *threshold*100)
-			os.Exit(1)
-		}
-		return
+		regressions, missing := Compare(old, cur, *suffix, *threshold, os.Stdout)
+		os.Exit(Gate(regressions, missing, *allowMissing, *threshold, os.Stderr))
 	}
 
 	in := os.Stdin
@@ -159,8 +161,10 @@ func Parse(r io.Reader) (*File, error) {
 //
 // Names are kept verbatim (including the GOMAXPROCS suffix): a
 // sub-benchmark name may itself end in "-16", so stripping is ambiguous.
-// Compare skips names the two artifacts do not share, so a machine-shape
-// change shows up as missing coverage, never as a false failure.
+// Compare therefore matches names exactly — and counts gated baseline
+// names absent from the current run as missing coverage, so a renamed or
+// deleted benchmark (or a machine-shape change renaming every benchmark)
+// fails the gate loudly instead of silently dropping its protection.
 func parseLine(line string) (name string, iters int64, metrics map[string]float64, ok bool) {
 	fields := strings.Fields(line)
 	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
@@ -182,6 +186,27 @@ func parseLine(line string) (name string, iters int64, metrics map[string]float6
 	return name, iters, metrics, true
 }
 
+// Gate turns a Compare result into the compare-mode exit code, explaining
+// each failure class on w. A regression always fails; missing baseline
+// coverage fails unless allowMissing acknowledges an intentional removal.
+func Gate(regressions, missing int, allowMissing bool, threshold float64, w io.Writer) int {
+	code := 0
+	if regressions > 0 {
+		fmt.Fprintf(w, "benchjson: %d metric(s) regressed more than %.0f%%\n",
+			regressions, threshold*100)
+		code = 1
+	}
+	if missing > 0 {
+		if allowMissing {
+			fmt.Fprintf(w, "benchjson: %d gated baseline metric(s) missing from the current run (allowed by -allow-missing)\n", missing)
+		} else {
+			fmt.Fprintf(w, "benchjson: %d gated baseline metric(s) missing from the current run — deleting a benchmark deletes its regression protection; pass -allow-missing for intentional removals\n", missing)
+			code = 1
+		}
+	}
+	return code
+}
+
 func mean(xs []float64) float64 {
 	if len(xs) == 0 {
 		return 0
@@ -193,40 +218,48 @@ func mean(xs []float64) float64 {
 	return sum / float64(len(xs))
 }
 
-// Compare reports every gated metric shared by old and cur, returning how
-// many regressed by more than threshold (higher is better for throughput
-// metrics). Benchmarks present on only one side are skipped: renames and
-// additions are not regressions.
-func Compare(old, cur *File, suffix string, threshold float64, w io.Writer) (regressions int) {
-	oldBy := map[string]Benchmark{}
-	for _, b := range old.Benchmarks {
-		oldBy[b.Name] = b
-	}
-	var names []string
-	for _, b := range cur.Benchmarks {
-		if _, ok := oldBy[b.Name]; ok {
-			names = append(names, b.Name)
-		}
-	}
-	sort.Strings(names)
+// Compare reports every gated metric of the baseline against the current
+// run. It returns how many shared metrics regressed by more than threshold
+// (higher is better for throughput metrics) and how many gated baseline
+// metrics are missing from the current run — each printed as a "missing:"
+// line, because a deleted benchmark must lose its regression protection
+// loudly, not silently. Benchmarks only in cur are additions, not gated.
+func Compare(old, cur *File, suffix string, threshold float64, w io.Writer) (regressions, missing int) {
 	curBy := map[string]Benchmark{}
 	for _, b := range cur.Benchmarks {
 		curBy[b.Name] = b
 	}
+	var names []string
+	for _, b := range old.Benchmarks {
+		names = append(names, b.Name)
+	}
+	sort.Strings(names)
+	oldBy := map[string]Benchmark{}
+	for _, b := range old.Benchmarks {
+		oldBy[b.Name] = b
+	}
 	for _, name := range names {
-		ob, cb := oldBy[name], curBy[name]
+		ob := oldBy[name]
+		cb, present := curBy[name]
 		var units []string
-		for unit := range cb.Metrics {
-			if strings.HasSuffix(unit, suffix) && len(ob.Metrics[unit]) > 0 {
+		for unit := range ob.Metrics {
+			if strings.HasSuffix(unit, suffix) {
 				units = append(units, unit)
 			}
 		}
 		sort.Strings(units)
 		for _, unit := range units {
-			o, c := mean(ob.Metrics[unit]), mean(cb.Metrics[unit])
+			o := mean(ob.Metrics[unit])
 			if o <= 0 {
 				continue
 			}
+			if !present || len(cb.Metrics[unit]) == 0 {
+				missing++
+				fmt.Fprintf(w, "missing: %-51s %-14s %12.2f -> (absent from current run)\n",
+					name, unit, o)
+				continue
+			}
+			c := mean(cb.Metrics[unit])
 			delta := (c - o) / o
 			verdict := "ok"
 			if delta < -threshold {
@@ -237,5 +270,5 @@ func Compare(old, cur *File, suffix string, threshold float64, w io.Writer) (reg
 				name, unit, o, c, delta*100, verdict)
 		}
 	}
-	return regressions
+	return regressions, missing
 }

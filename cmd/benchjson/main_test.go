@@ -67,13 +67,13 @@ func TestCompareFlagsRegression(t *testing.T) {
 
 	// Within the threshold: no regression.
 	cur := benchFile("BenchmarkTable2IDE/dma-16", "devil-MB/s", 30.0)
-	if n := Compare(old, cur, "MB/s", 0.20, &out); n != 0 {
-		t.Errorf("regressions = %d, want 0 for a 10%% dip", n)
+	if n, m := Compare(old, cur, "MB/s", 0.20, &out); n != 0 || m != 0 {
+		t.Errorf("regressions, missing = %d, %d, want 0, 0 for a 10%% dip", n, m)
 	}
 
 	// Beyond the threshold: flagged.
 	cur = benchFile("BenchmarkTable2IDE/dma-16", "devil-MB/s", 20.0)
-	if n := Compare(old, cur, "MB/s", 0.20, &out); n != 1 {
+	if n, _ := Compare(old, cur, "MB/s", 0.20, &out); n != 1 {
 		t.Errorf("regressions = %d, want 1 for a 40%% drop", n)
 	}
 	if !strings.Contains(out.String(), "REGRESSION") {
@@ -81,15 +81,73 @@ func TestCompareFlagsRegression(t *testing.T) {
 	}
 }
 
-func TestCompareSkipsUnsharedAndOtherUnits(t *testing.T) {
-	old := benchFile("BenchmarkGone", "devil-MB/s", 100)
+// TestCompareCountsMissingBaselineMetrics: a gated metric that vanishes
+// from the current run — the benchmark deleted, renamed, or its metric no
+// longer reported — is counted and reported per metric, so CI can fail
+// instead of silently losing the coverage. Non-gated units and benchmarks
+// only present in the current run are still ignored.
+func TestCompareCountsMissingBaselineMetrics(t *testing.T) {
+	old := &File{Benchmarks: []Benchmark{
+		{Name: "BenchmarkGone", Runs: 1, Metrics: map[string][]float64{"devil-MB/s": {100}}},
+		{Name: "BenchmarkMetricGone", Runs: 1, Metrics: map[string][]float64{
+			"std-MB/s": {10}, "devil-MB/s": {20}}},
+		{Name: "BenchmarkOnlyNsop", Runs: 1, Metrics: map[string][]float64{"ns/op": {5}}},
+	}}
 	cur := &File{Benchmarks: []Benchmark{
 		{Name: "BenchmarkNew", Runs: 1, Metrics: map[string][]float64{"devil-MB/s": {1}}},
-		{Name: "BenchmarkGone", Runs: 1, Metrics: map[string][]float64{"ns/op": {1}}},
+		{Name: "BenchmarkMetricGone", Runs: 1, Metrics: map[string][]float64{
+			"std-MB/s": {11}, "ns/op": {2}}},
 	}}
 	var out strings.Builder
-	if n := Compare(old, cur, "MB/s", 0.20, &out); n != 0 {
-		t.Errorf("regressions = %d, want 0: unshared benchmarks and non-MB/s units are not gated", n)
+	n, m := Compare(old, cur, "MB/s", 0.20, &out)
+	if n != 0 {
+		t.Errorf("regressions = %d, want 0", n)
+	}
+	// BenchmarkGone's devil-MB/s and BenchmarkMetricGone's devil-MB/s are
+	// gone; BenchmarkOnlyNsop carried no gated metric.
+	if m != 2 {
+		t.Errorf("missing = %d, want 2", m)
+	}
+	report := out.String()
+	if got := strings.Count(report, "missing:"); got != 2 {
+		t.Errorf("report has %d missing: lines, want 2:\n%s", got, report)
+	}
+	if !strings.Contains(report, "missing: BenchmarkGone") {
+		t.Errorf("missing line for the deleted benchmark absent:\n%s", report)
+	}
+
+	// Identical coverage: nothing missing.
+	if _, m := Compare(cur, cur, "MB/s", 0.20, &out); m != 0 {
+		t.Errorf("self-compare missing = %d, want 0", m)
+	}
+}
+
+// TestGateMissingPolicy covers both CI paths: missing baseline coverage
+// fails the gate by default and passes only under the explicit
+// -allow-missing opt-out (which still reports what was lost).
+func TestGateMissingPolicy(t *testing.T) {
+	var out strings.Builder
+	if code := Gate(0, 0, false, 0.20, &out); code != 0 {
+		t.Errorf("clean gate exits %d, want 0", code)
+	}
+	if code := Gate(1, 0, true, 0.20, &out); code != 1 {
+		t.Errorf("regression gate exits %d, want 1 (allow-missing does not excuse regressions)", code)
+	}
+
+	out.Reset()
+	if code := Gate(0, 2, false, 0.20, &out); code != 1 {
+		t.Errorf("missing-coverage gate exits %d, want 1", code)
+	}
+	if !strings.Contains(out.String(), "allow-missing") {
+		t.Error("failure message does not point at the -allow-missing opt-out")
+	}
+
+	out.Reset()
+	if code := Gate(0, 2, true, 0.20, &out); code != 0 {
+		t.Errorf("allow-missing gate exits %d, want 0", code)
+	}
+	if !strings.Contains(out.String(), "missing") {
+		t.Error("allowed removal not reported")
 	}
 }
 
@@ -97,7 +155,7 @@ func TestCompareImprovementPasses(t *testing.T) {
 	old := benchFile("B", "std-MB/s", 10)
 	cur := benchFile("B", "std-MB/s", 50)
 	var out strings.Builder
-	if n := Compare(old, cur, "MB/s", 0.20, &out); n != 0 {
-		t.Errorf("regressions = %d, want 0 for an improvement", n)
+	if n, m := Compare(old, cur, "MB/s", 0.20, &out); n != 0 || m != 0 {
+		t.Errorf("regressions, missing = %d, %d, want 0, 0 for an improvement", n, m)
 	}
 }

@@ -313,6 +313,16 @@ func (l *IRQLine) Raise() {
 	l.mu.Unlock()
 }
 
+// Pending reports whether at least one interrupt is latched and not yet
+// consumed. Device simulators use it as a pump barrier: streaming engines
+// stop at a pending interrupt so the driver's ISR runs before more data
+// moves.
+func (l *IRQLine) Pending() bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.pending > 0
+}
+
 // Consume takes one pending interrupt, reporting false if none is latched.
 func (l *IRQLine) Consume() bool {
 	l.mu.Lock()

@@ -1,0 +1,227 @@
+// Package sound contains the two sound-playback drivers of the sound-DMA
+// pipeline: a hand-crafted driver programmed with raw port I/O and magic
+// constants, and a Devil-based driver built exclusively on the stubs
+// generated from the cs4236, dma8237, and pic8259 specifications.
+//
+// This is the repository's first multi-chip workload: one driver must
+// coordinate three devices — the CS4236B codec (sample format, rate, and
+// playback enable through the indexed register file), the 8237A DMA
+// controller (an auto-init channel streaming the sample ring into the
+// codec FIFO), and the 8259A interrupt controller (the terminal-count line
+// the ISR acknowledges). A playback run arms the ring, enables the DAC,
+// and then services one interrupt per ring revolution: acknowledge the
+// vector, check the DMA status and the codec's playback-interrupt flag,
+// refill the ring with the next slice of the clip, clear the flag, and
+// send the end-of-interrupt command.
+//
+// Both drivers implement the same Driver interface and are functionally
+// interchangeable; the experiments (Table 5) measure their I/O-operation
+// counts and virtual-time throughput across buffer sizes and sample rates.
+package sound
+
+import (
+	"fmt"
+
+	"repro/internal/bus"
+	simcs "repro/internal/sim/cs4236"
+	simdma "repro/internal/sim/dma8237"
+	simpic "repro/internal/sim/pic8259"
+)
+
+// IRQLatencyNS is the simulated cost of taking one interrupt (context
+// switch + dispatch), charged when a driver consumes a pending IRQ.
+const IRQLatencyNS = 11200
+
+// pumpBurst bounds one hardware-runs step: the codec consumes at most this
+// many sample frames before the driver loop rechecks its interrupt line.
+const pumpBurst = 8192
+
+// Conventional wiring for the pipeline (the Rig uses these; drivers take
+// whatever their Ports carry).
+const (
+	WSSBase  = 0x534  // WSS codec window (index + data ports)
+	DMABase  = 0x000  // 8237 channel/control ports
+	PICBase  = 0x020  // 8259 command/data ports
+	RingAddr = 0x4000 // physical address of the DMA sample ring
+	IRQLine  = 5      // the 8259 input the DMA terminal count drives
+	VecBase  = 4      // ICW2 vector-base field: vectors 0x20..0x27
+)
+
+// Config selects one Table 5 configuration.
+type Config struct {
+	Rate      int  // sample rate in Hz (8000, 11025, 16000, 22050, 32000, 44100, 48000)
+	Stereo    bool // two channels per frame
+	Bits16    bool // 16-bit PCM samples instead of 8-bit
+	RingBytes int  // DMA ring size in bytes (one terminal count per revolution)
+}
+
+// FrameBytes returns the size of one sample frame.
+func (c Config) FrameBytes() int {
+	n := 1
+	if c.Bits16 {
+		n = 2
+	}
+	if c.Stereo {
+		n *= 2
+	}
+	return n
+}
+
+// String renders the configuration like the Table 5 rows.
+func (c Config) String() string {
+	ch := "mono"
+	if c.Stereo {
+		ch = "stereo"
+	}
+	bits := 8
+	if c.Bits16 {
+		bits = 16
+	}
+	return fmt.Sprintf("%dHz %d-bit %s, %dB ring", c.Rate, bits, ch, c.RingBytes)
+}
+
+// Driver is the common surface of the two implementations.
+type Driver interface {
+	Name() string
+	// Init programs the interrupt controller and the codec sample format.
+	Init() error
+	// Play streams the clip through the DMA ring until it has been fully
+	// consumed by the DAC, servicing one terminal-count interrupt per ring
+	// revolution. The clip is padded with silence to a whole revolution.
+	Play(clip []byte) error
+}
+
+// Ports groups the bus wiring shared by both drivers.
+type Ports struct {
+	Space *bus.Space
+	Clock *bus.Clock
+	Mem   *bus.RAM     // simulated main memory holding the DMA ring
+	IRQ   *bus.IRQLine // the PIC INT line to the CPU
+
+	// Ack models the CPU's interrupt-acknowledge cycle on the PIC (a
+	// processor bus cycle, not port I/O — identical for both variants).
+	Ack func() (vector uint8, ok bool)
+	// Pump lets the hardware run while the CPU idles: the codec consumes
+	// up to the given number of sample frames, pulling the DMA channel as
+	// needed, and stops at a pending interrupt.
+	Pump func(maxFrames int) int
+
+	WSSBase  uint32 // codec window base (index port at +0, data at +1)
+	DMABase  uint32 // 8237 port block base
+	PICBase  uint32 // 8259 port pair base
+	RingAddr uint32 // physical address of the sample ring in Mem
+	IRQLine  int    // the 8259 input wired to the DMA terminal count
+	VecBase  uint8  // ICW2 vector-base field the driver programs
+}
+
+// vector returns the interrupt vector the PIC delivers for the pipeline's
+// line once initialized.
+func (p *Ports) vector() uint8 { return p.VecBase<<3 | uint8(p.IRQLine&7) }
+
+// waitIRQ runs the hardware until the next interrupt arrives, then charges
+// the interrupt latency. The pipeline streams synchronously: a pump step
+// that makes no progress with no interrupt pending is a stall (FIFO
+// underrun or protocol bug), not a timing race.
+func (p *Ports) waitIRQ() error {
+	for !p.IRQ.Consume() {
+		if p.Pump == nil {
+			return fmt.Errorf("sound: playback stalled waiting for terminal count")
+		}
+		// A zero-frame pump step is still progress when the pull itself hit
+		// terminal count (a ring no deeper than the FIFO interrupts before
+		// the first frame drains); only a quiet line on top of it stalls.
+		if p.Pump(pumpBurst) == 0 && !p.IRQ.Pending() {
+			return fmt.Errorf("sound: playback stalled waiting for terminal count")
+		}
+	}
+	p.Clock.Advance(IRQLatencyNS)
+	return nil
+}
+
+// prepare validates the configuration and pads the clip to whole ring
+// revolutions. It returns the padded buffer and the revolution count.
+func prepare(cfg Config, p *Ports, clip []byte) ([]byte, int, error) {
+	fb := cfg.FrameBytes()
+	if cfg.RingBytes < fb || cfg.RingBytes%fb != 0 {
+		return nil, 0, fmt.Errorf("sound: ring size %d not a positive multiple of the %d-byte frame", cfg.RingBytes, fb)
+	}
+	if cfg.RingBytes > 1<<16 {
+		return nil, 0, fmt.Errorf("sound: ring size %d exceeds the 8237's 16-bit reach", cfg.RingBytes)
+	}
+	if int(p.RingAddr)+cfg.RingBytes > len(p.Mem.Data) {
+		return nil, 0, fmt.Errorf("sound: ring [%#x,%#x) outside simulated memory", p.RingAddr, int(p.RingAddr)+cfg.RingBytes)
+	}
+	if len(clip) == 0 {
+		return nil, 0, nil
+	}
+	revs := (len(clip) + cfg.RingBytes - 1) / cfg.RingBytes
+	buf := make([]byte, revs*cfg.RingBytes)
+	copy(buf, clip)
+	return buf, revs, nil
+}
+
+// rateCode maps a sample rate to the I8 divider encoding; the same table
+// backs the generated RateVal symbols and the hand driver's magic nibbles.
+func rateCode(hz int) (uint8, error) {
+	codes := map[int]uint8{
+		8000: 0x0, 16000: 0x2, 11025: 0x3, 32000: 0x6,
+		22050: 0x7, 44100: 0xb, 48000: 0xc,
+	}
+	c, ok := codes[hz]
+	if !ok {
+		return 0, fmt.Errorf("sound: unsupported sample rate %d Hz", hz)
+	}
+	return c, nil
+}
+
+// ---------------------------------------------------------------------------
+// Rig: the three-chip machine
+
+// Rig wires the complete pipeline around one port space and virtual clock:
+// the codec pulls the DMA channel (DREQ), the channel deposits ring bytes
+// into the codec FIFO and pulses terminal count into the PIC and the
+// codec's playback-interrupt flag, and the PIC's INT output latches the
+// CPU interrupt line the drivers consume.
+type Rig struct {
+	Clock *bus.Clock
+	Space *bus.Space
+	Mem   *bus.RAM
+	Codec *simcs.Sim
+	DMA   *simdma.Sim
+	PIC   *simpic.Sim
+	IRQ   *bus.IRQLine
+}
+
+// NewRig builds the pipeline at the conventional addresses.
+func NewRig() *Rig {
+	clk := &bus.Clock{}
+	space := bus.NewSpace("io", clk, bus.DefaultPortCosts())
+	mem := bus.NewRAM(1 << 16)
+	codec := simcs.New()
+	dma := simdma.New()
+	pic := simpic.New()
+	irq := &bus.IRQLine{}
+
+	codec.Clock = clk
+	codec.DREQ = dma.Transfer
+	codec.Halt = irq.Pending
+	dma.Mem = mem
+	dma.Sink = codec.FIFOPush
+	dma.OnTC = func() { codec.RaisePI(); pic.Raise(IRQLine) }
+	pic.INT = irq.Raise
+
+	space.MustMap(WSSBase, 2, codec)
+	space.MustMap(DMABase, 13, dma)
+	space.MustMap(PICBase, 2, pic)
+	return &Rig{Clock: clk, Space: space, Mem: mem, Codec: codec, DMA: dma, PIC: pic, IRQ: irq}
+}
+
+// Ports returns the driver-facing wiring of the rig.
+func (r *Rig) Ports() Ports {
+	return Ports{
+		Space: r.Space, Clock: r.Clock, Mem: r.Mem, IRQ: r.IRQ,
+		Ack: r.PIC.Ack, Pump: r.Codec.Pump,
+		WSSBase: WSSBase, DMABase: DMABase, PICBase: PICBase,
+		RingAddr: RingAddr, IRQLine: IRQLine, VecBase: VecBase,
+	}
+}

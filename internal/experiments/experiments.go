@@ -5,6 +5,8 @@
 //	Table 2 — IDE driver throughput, standard vs Devil
 //	Table 3 — Permedia2 fill-rectangle throughput
 //	Table 4 — Permedia2 screen-copy throughput
+//	Table 5 — sound-DMA pipeline throughput (cs4236 + dma8237 + pic8259),
+//	          standard vs Devil
 //
 // Each TableN function runs the experiment and returns both structured rows
 // and the paper-format text. Absolute numbers depend on the simulator cost
@@ -13,12 +15,14 @@
 package experiments
 
 import (
+	"bytes"
 	"fmt"
 	"strings"
 
 	"repro/internal/bus"
 	idedrv "repro/internal/drivers/ide"
 	pmdrv "repro/internal/drivers/permedia2"
+	snddrv "repro/internal/drivers/sound"
 	"repro/internal/mutation"
 	simide "repro/internal/sim/ide"
 	simpm "repro/internal/sim/permedia2"
@@ -291,4 +295,108 @@ func Table4(iters int) (string, error) {
 		return "", err
 	}
 	return renderGfx("Table 4: Permedia2 Xfree86 driver, screen copy test", "copy/s", rows), nil
+}
+
+// ---------------------------------------------------------------------------
+// Table 5
+
+// SoundRow is one measured row of Table 5: the sound-DMA pipeline
+// (CS4236B codec + 8237A DMA + 8259A PIC) streaming a clip, standard vs
+// Devil driver.
+type SoundRow struct {
+	Config   snddrv.Config
+	StdOps   uint64  // I/O operations for the whole playback
+	StdMBs   float64 // simulated throughput
+	DevilOps uint64
+	DevilMBs float64
+	Ratio    float64 // Devil/standard throughput
+}
+
+// Table5Configs enumerates the measured buffer-size x sample-rate sweep.
+func Table5Configs() []snddrv.Config {
+	var cfgs []snddrv.Config
+	for _, ring := range []int{512, 2048, 8192} {
+		cfgs = append(cfgs,
+			snddrv.Config{Rate: 22050, RingBytes: ring},
+			snddrv.Config{Rate: 48000, Stereo: true, Bits16: true, RingBytes: ring},
+		)
+	}
+	return cfgs
+}
+
+// runSound measures one driver streaming revs ring revolutions and returns
+// (ops, MB/s). The consumed samples are verified against the clip — a
+// pipeline that is fast but wrong does not get a row.
+func runSound(mk func(snddrv.Ports) snddrv.Driver, cfg snddrv.Config, revs int) (uint64, float64, error) {
+	rig := snddrv.NewRig()
+	drv := mk(rig.Ports())
+	if err := drv.Init(); err != nil {
+		return 0, 0, err
+	}
+	clip := make([]byte, cfg.RingBytes*revs)
+	for i := range clip {
+		clip[i] = byte(i>>4) ^ byte(i*11)
+	}
+	rig.Space.ResetStats()
+	start := rig.Clock.Now()
+	if err := drv.Play(clip); err != nil {
+		return 0, 0, err
+	}
+	elapsed := rig.Clock.Now() - start
+	played := rig.Codec.Played()
+	if !bytes.Equal(played, clip) {
+		return 0, 0, fmt.Errorf("sound: DAC consumed wrong data (%d of %d bytes)", len(played), len(clip))
+	}
+	if rig.Codec.Underrun() {
+		return 0, 0, fmt.Errorf("sound: DAC underran")
+	}
+	mbs := float64(len(clip)) / (float64(elapsed) / 1e9) / 1e6
+	return rig.Space.Stats().Ops(), mbs, nil
+}
+
+// Table5Row measures one configuration with both drivers over a clip of
+// revs ring revolutions (each revolution is one terminal-count interrupt).
+func Table5Row(cfg snddrv.Config, revs int) (SoundRow, error) {
+	stdOps, stdMBs, err := runSound(func(p snddrv.Ports) snddrv.Driver { return snddrv.NewHand(p, cfg) }, cfg, revs)
+	if err != nil {
+		return SoundRow{}, fmt.Errorf("standard %s: %w", cfg, err)
+	}
+	devOps, devMBs, err := runSound(func(p snddrv.Ports) snddrv.Driver { return snddrv.NewDevil(p, cfg) }, cfg, revs)
+	if err != nil {
+		return SoundRow{}, fmt.Errorf("devil %s: %w", cfg, err)
+	}
+	return SoundRow{
+		Config: cfg, StdOps: stdOps, StdMBs: stdMBs,
+		DevilOps: devOps, DevilMBs: devMBs, Ratio: devMBs / stdMBs,
+	}, nil
+}
+
+// Table5Rows measures the whole Table 5 sweep.
+func Table5Rows(revs int) ([]SoundRow, error) {
+	var rows []SoundRow
+	for _, cfg := range Table5Configs() {
+		row, err := Table5Row(cfg, revs)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// Table5 renders the sound pipeline comparison.
+func Table5(revs int) (string, error) {
+	rows, err := Table5Rows(revs)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 5: Sound-DMA pipeline (CS4236B + i8237A + i8259A), %d ring revolutions per run\n\n", revs)
+	fmt.Fprintf(&b, "%-32s %12s %10s %12s %10s %8s\n",
+		"Configuration", "Std I/O ops", "Std MB/s", "Devil ops", "Dev MB/s", "Ratio")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-32s %12d %10.4f %12d %10.4f %7.0f%%\n",
+			r.Config, r.StdOps, r.StdMBs, r.DevilOps, r.DevilMBs, r.Ratio*100)
+	}
+	return b.String(), nil
 }

@@ -109,3 +109,46 @@ func TestTableRendering(t *testing.T) {
 		t.Error("Table 4 title missing")
 	}
 }
+
+// TestTable5Shape verifies the sound-pipeline claims: the transfer is
+// DAC-bound so both drivers deliver parity throughput, the Devil driver's
+// only extra I/O operation is the arming-path flip-flop clear (the
+// interrupt/refill path costs are identical), and larger rings mean fewer
+// interrupts hence fewer operations.
+func TestTable5Shape(t *testing.T) {
+	rows, err := Table5Rows(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("rows = %d, want 3 ring sizes x 2 formats", len(rows))
+	}
+	for _, r := range rows {
+		if r.Ratio < 0.995 || r.Ratio > 1.005 {
+			t.Errorf("%s: ratio = %.4f, want ~1.0 (DAC-bound)", r.Config, r.Ratio)
+		}
+		// Same revolutions, same ISR protocol: the whole-run ops differ by
+		// exactly the one arming operation.
+		if r.DevilOps != r.StdOps+1 {
+			t.Errorf("%s: ops devil %d vs std %d, want devil = std+1 (arming flip-flop clear)",
+				r.Config, r.DevilOps, r.StdOps)
+		}
+	}
+	// Throughput tracks the byte rate: 48 kHz 16-bit stereo moves ~8.7x
+	// the bytes per second of 22.05 kHz 8-bit mono.
+	if hi, lo := rows[1].StdMBs, rows[0].StdMBs; hi/lo < 8 || hi/lo > 9.5 {
+		t.Errorf("rate scaling: %.4f / %.4f = %.2f, want ~8.7", hi, lo, hi/lo)
+	}
+}
+
+func TestTable5Rendering(t *testing.T) {
+	out, err := Table5(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Table 5", "Sound-DMA", "48000Hz 16-bit stereo"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table 5 output missing %q", want)
+		}
+	}
+}

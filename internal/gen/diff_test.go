@@ -834,11 +834,14 @@ func TestDifferentialCS4236(t *testing.T) {
 		}
 		get, set := execAccessors(t, seed, execDev)
 
+		// The valid rate-divider encodings of the pfmt structure.
+		rates := []int{0x0, 0x2, 0x3, 0x6, 0x7, 0xb, 0xc}
+
 		rng := rand.New(rand.NewSource(seed ^ 0x4236))
 		for op := 0; op < 96; op++ {
 			v := rng.Intn(256)
 			j := extDomain[rng.Intn(len(extDomain))]
-			switch rng.Intn(9) {
+			switch rng.Intn(13) {
 			case 0:
 				genDev.SetIA(uint8(v & 0x1f))
 				set("IA", int64(v&0x1f))
@@ -873,6 +876,46 @@ func TestDifferentialCS4236(t *testing.T) {
 			case 8:
 				genCS.SetExt(j, uint8(v))
 				execCS.SetExt(j, uint8(v))
+			case 9:
+				// The playback-format structure: three staged fields, one
+				// flush into I8 (the sound pipeline's format programming).
+				r := rates[rng.Intn(len(rates))]
+				genDev.SetRate(gencs.RateVal(r))
+				set("rate", int64(r))
+				genDev.SetStereo(v&1 != 0)
+				set("stereo", int64(v&1))
+				genDev.SetFmt(gencs.FmtVal(v >> 1 & 3))
+				set("fmt", int64(v>>1&3))
+				genDev.WritePfmt()
+				if err := execDev.WriteStruct("pfmt"); err != nil {
+					t.Fatalf("seed %d: WriteStruct(pfmt): %v", seed, err)
+				}
+			case 10:
+				genDev.ReadPfmt()
+				if err := execDev.ReadStruct("pfmt"); err != nil {
+					t.Fatalf("seed %d: ReadStruct(pfmt): %v", seed, err)
+				}
+				genRig.record(b2i(genDev.Stereo()))
+				execRig.record(get("stereo"))
+			case 11:
+				// pen and sdc share I9 through register shadows — the
+				// co-tenant composition path PR 4's codegen fix covers.
+				genDev.SetPen(v&1 != 0)
+				set("pen", int64(v&1))
+				genDev.SetSdc(v&2 != 0)
+				set("sdc", int64(v>>1&1))
+				genRig.record(b2i(genDev.Pen()))
+				execRig.record(get("pen"))
+				genRig.record(b2i(genDev.Sdc()))
+				execRig.record(get("sdc"))
+			case 12:
+				// The playback-interrupt flag and its write-to-ack path.
+				genCS.RaisePI()
+				execCS.RaisePI()
+				genRig.record(b2i(genDev.Pi()))
+				execRig.record(get("pi"))
+				genDev.SetPi(v&1 != 0)
+				set("pi", int64(v&1))
 			}
 		}
 		compareRigs(t, seed, genRig, execRig)

@@ -551,3 +551,144 @@ if (ne_get_prx()) {
     ne_set_isr_ack(0x01);
 }
 `
+
+// Piix4C is the hand-crafted PIIX4 busmaster hardware operating code in
+// isolation (the ide study above exercises it only through the combined
+// IDE command path): status acknowledge, descriptor-table programming,
+// engine start, the completion poll, and the stop/error path — after the
+// Linux triton.c helpers.
+const Piix4C = `
+#define BM_COMMAND 0xc000
+#define BM_STATUS 0xc002
+#define BM_PRD 0xc004
+#define BM_START 0x01
+#define BM_DIR_READ 0x08
+#define BM_INT 0x04
+#define BM_ERR 0x02
+#define BM_ACTIVE 0x01
+
+int prd_addr, bmstat, dir, failed;
+
+bmstat = inb(BM_STATUS);
+outb(bmstat | BM_INT | BM_ERR, BM_STATUS);
+outl(prd_addr, BM_PRD);
+dir = BM_DIR_READ;
+outb(dir, BM_COMMAND);
+outb(dir | BM_START, BM_COMMAND);
+
+bmstat = inb(BM_STATUS);
+while (bmstat & BM_ACTIVE) {
+    bmstat = inb(BM_STATUS);
+}
+outb(dir, BM_COMMAND);
+if (bmstat & BM_ERR) {
+    failed = 1;
+}
+if (bmstat & BM_INT) {
+    outb(BM_INT, BM_STATUS);
+}
+`
+
+// Piix4CDevil is the same path through the piix4_busmaster stubs: the
+// write-one-to-clear discipline, the direction/start encodings, and the
+// status bit positions all live in the specification.
+const Piix4CDevil = `
+int prd_addr, active, failed;
+
+px_get_bm_status();
+px_set_bm_ack_irq(1);
+px_set_bm_ack_err(1);
+px_set_prd_addr(prd_addr);
+px_set_bm_dir(BM_READ);
+px_set_bm_start(START);
+
+px_get_bm_status();
+active = px_get_bm_active();
+while (active) {
+    px_get_bm_status();
+    active = px_get_bm_active();
+}
+px_set_bm_start(STOP);
+if (px_get_bm_err()) {
+    failed = 1;
+}
+if (px_get_bm_irq()) {
+    px_set_bm_ack_irq(1);
+}
+`
+
+// Permedia2C is the hand-crafted Permedia2 rasterizer code: the FIFO-space
+// poll, drawing-state programming, a rectangle fill, and a screen copy —
+// after the XFree86 glint driver, with the register offsets and field
+// encodings as magic constants.
+const Permedia2C = `
+#define PM_FIFO 0xf0000000
+#define PM_WINDOW_BASE 0xf0000008
+#define PM_LOGICAL_OP 0xf0000010
+#define PM_FB_WRITE_CONFIG 0xf0000018
+#define PM_COLOR 0xf0000020
+#define PM_START_X_DOM 0xf0000028
+#define PM_START_X_SUB 0xf0000030
+#define PM_START_Y 0xf0000038
+#define PM_D_Y 0xf0000040
+#define PM_COUNT 0xf0000048
+#define PM_RECT_ORIGIN 0xf0000050
+#define PM_RECT_SIZE 0xf0000058
+#define PM_RENDER 0xf0000080
+#define PM_FIFO_MASK 0x3f
+#define PM_DEPTH_8 0x00
+#define PM_DITHER 0x20
+#define PM_OP_COPY 0x03
+#define PM_OP_ENABLE 0x01
+#define PM_RENDER_FILL 0x01
+#define PM_RENDER_COPY 0x81
+
+int x, y, w, h, color, space;
+
+space = readl(PM_FIFO) & PM_FIFO_MASK;
+while (space < 8) {
+    space = readl(PM_FIFO) & PM_FIFO_MASK;
+}
+writel(0, PM_WINDOW_BASE);
+writel(PM_DEPTH_8 | PM_DITHER, PM_FB_WRITE_CONFIG);
+writel((PM_OP_COPY << 1) | PM_OP_ENABLE, PM_LOGICAL_OP);
+writel(color, PM_COLOR);
+writel(x << 16, PM_START_X_DOM);
+writel((x + w) << 16, PM_START_X_SUB);
+writel(y << 16, PM_START_Y);
+writel(1 << 16, PM_D_Y);
+writel(h, PM_COUNT);
+writel(PM_RENDER_FILL, PM_RENDER);
+
+writel((y << 16) | x, PM_RECT_ORIGIN);
+writel((h << 16) | w, PM_RECT_SIZE);
+writel(PM_RENDER_COPY, PM_RENDER);
+`
+
+// Permedia2CDevil is the same code through the permedia2 stubs: the depth
+// and primitive encodings become enum symbols and the logical-op fields
+// compose through register shadows instead of hand-packed words.
+const Permedia2CDevil = `
+int x, y, w, h, color, space;
+
+space = pm_get_fifo_space();
+while (space < 8) {
+    space = pm_get_fifo_space();
+}
+pm_set_window_base(0);
+pm_set_fb_depth(BPP8);
+pm_set_dither(1);
+pm_set_logic_op(3);
+pm_set_logic_op_enable(1);
+pm_set_color(color);
+pm_set_start_x_dom(x << 16);
+pm_set_start_x_sub((x + w) << 16);
+pm_set_start_y(y << 16);
+pm_set_d_y(1 << 16);
+pm_set_count(h);
+pm_set_render(FILL);
+
+pm_set_rect_origin((y << 16) | x);
+pm_set_rect_size((h << 16) | w);
+pm_set_render(COPY);
+`

@@ -181,8 +181,8 @@ func TestStudyAllDevicesOrdering(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(rows) != 6 {
-		t.Fatalf("rows = %d, want one per library device with a driver fragment", len(rows))
+	if len(rows) != 8 {
+		t.Fatalf("rows = %d, want one per library device (all 8 in the study)", len(rows))
 	}
 	for _, r := range rows {
 		if r.C.UndetectedPerSite() <= r.CDevil.UndetectedPerSite() {
@@ -199,7 +199,8 @@ func TestStudyAllDevicesOrdering(t *testing.T) {
 	out := FormatTable(rows)
 	for _, want := range []string{
 		"Ethernet (NE2000)", "Interrupt (i8259A)", "DMA (i8237A)",
-		"Audio (CS4236B)", "Devil+C_Devil",
+		"Audio (CS4236B)", "Busmaster (PIIX4)", "Video (Permedia2)",
+		"Devil+C_Devil",
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("table formatting missing %q", want)
@@ -207,11 +208,12 @@ func TestStudyAllDevicesOrdering(t *testing.T) {
 	}
 }
 
-// TestStudyNewDevices runs the three devices added to close the library
-// (interrupt controller, DMA engine, audio codec) individually, so the
-// short test suite still covers them.
+// TestStudyNewDevices runs the devices added after the initial study
+// (interrupt controller, DMA engine, audio codec, standalone busmaster,
+// graphics controller) individually, so the short test suite still covers
+// all 8 library devices.
 func TestStudyNewDevices(t *testing.T) {
-	for _, dev := range []string{"i8259", "i8237", "CS4236"} {
+	for _, dev := range []string{"i8259", "i8237", "CS4236", "Busmaster", "Permedia2"} {
 		rows, err := RunStudy(dev)
 		if err != nil {
 			t.Fatal(err)

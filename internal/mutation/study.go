@@ -93,6 +93,20 @@ var studies = []study{
 		stubSrc: Cs4236CDevil,
 		prefix:  "cs",
 	},
+	{
+		device:  "Busmaster (PIIX4)",
+		cSrc:    Piix4C,
+		specs:   [][]byte{specs.PIIX4},
+		stubSrc: Piix4CDevil,
+		prefix:  "px",
+	},
+	{
+		device:  "Video (Permedia2)",
+		cSrc:    Permedia2C,
+		specs:   [][]byte{specs.Permedia2},
+		stubSrc: Permedia2CDevil,
+		prefix:  "pm",
+	},
 }
 
 // RunStudy executes the complete Table 1 experiment for one device by

@@ -17,7 +17,11 @@
 // indexed addressing.
 package cs4236
 
-import "sync"
+import (
+	"sync"
+
+	"repro/internal/bus"
+)
 
 // Port offsets relative to the device base.
 const (
@@ -35,9 +39,47 @@ const (
 	ExtIndex    = 23   // the index holding the extended window
 )
 
-// Sim is a simulated CS4236B register file. It implements bus.Handler
-// over a 2-port window. The zero value has index 0 selected and extended
-// addressing disabled.
+// Playback-relevant indexed registers and their fields (the registers the
+// sound-DMA pipeline programs; see internal/specs/cs4236.dil).
+const (
+	RegPfmt  = 8  // I8: rate divider (3..0), stereo (4), format (6..5)
+	RegIface = 9  // I9: PEN playback enable (0), SDC single-DMA (2)
+	RegAFS   = 24 // I24: alternate feature status, PI playback interrupt (4)
+
+	PfmtStereo = 0x10
+	Pfmt16Bit  = 0x40 // format bit 6: 16-bit samples (PCM16/ADPCM encodings)
+	IfacePEN   = 0x01
+	AFSPI      = 0x10
+	AFSCI      = 0x20 // capture interrupt (the planned capture path)
+	AFSTI      = 0x40 // timer interrupt
+	afsFlags   = AFSPI | AFSCI | AFSTI
+)
+
+// FIFODepth is the DAC FIFO size in bytes. The playback engine pulls from
+// the DMA channel in FIFO-refill bursts, so the ring boundary (terminal
+// count) can land mid-FIFO — the tail of a buffer keeps playing while the
+// ISR refills memory behind it, as on hardware.
+const FIFODepth = 16
+
+// rateHz maps the 4-bit divider encoding of I8 (CSS clock-source select in
+// bit 0, CFS divide select in bits 3..1) to the sample rate, after the
+// CS4236B datasheet's frequency table. The two reserved encodings map to 0:
+// no sample clock, so playback does not advance.
+var rateHz = [16]uint64{
+	8000, 5513, 16000, 11025, 27429, 18900, 32000, 22050,
+	0, 37800, 0, 44100, 48000, 33075, 9600, 6615,
+}
+
+// Sim is a simulated CS4236B register file plus playback engine. It
+// implements bus.Handler over a 2-port window. The zero value has index 0
+// selected and extended addressing disabled.
+//
+// The playback wiring turns the register file into the consumer end of the
+// sound-DMA pipeline: DREQ is the channel pull (the pipeline wires it to
+// dma8237.Transfer, which deposits bytes through FIFOPush), Clock is the
+// shared virtual clock each consumed sample frame advances, and Halt is
+// the pump barrier (the pipeline stops streaming while an interrupt is
+// pending so the driver's ISR runs before more data moves).
 type Sim struct {
 	mu sync.Mutex
 
@@ -46,6 +88,15 @@ type Sim struct {
 	ext     [32]uint8
 	xa      uint8 // latched extended address
 	xm      bool  // the mode cell: data port is an extended data window
+
+	fifo     []byte
+	played   []byte
+	underrun bool
+
+	// Wiring; set before traffic, never changed mid-experiment.
+	Clock *bus.Clock      // shared virtual clock (sample timing)
+	DREQ  func(n int) int // pull up to n bytes from the DMA channel
+	Halt  func() bool     // pump barrier (e.g. an interrupt is pending)
 }
 
 // New returns a codec with all registers zeroed.
@@ -118,8 +169,133 @@ func (s *Sim) BusWrite(offset uint32, width int, v uint32) {
 			s.indexed[ExtIndex] = b
 			s.xa = (b&I23XA4)<<2 | b>>4&0xf
 			s.xm = b&I23XRAE != 0
+		case s.control&0x1f == RegAFS:
+			// I24: a host write acknowledges ALL pending interrupt flags
+			// regardless of the value written (datasheet §alternate
+			// feature status) — so a driver clearing PI cannot behave
+			// differently about a concurrently pending CI/TI whether it
+			// composes the write from a read-back or from zeros.
+			s.indexed[RegAFS] = b &^ afsFlags
 		default:
 			s.indexed[s.control&0x1f] = b
 		}
 	}
+}
+
+// ---------------------------------------------------------------------------
+// Playback engine
+
+// FIFOPush deposits one sample byte into the DAC FIFO — the device end of
+// the DMA channel (dma8237.Sim.Sink).
+func (s *Sim) FIFOPush(b byte) {
+	s.mu.Lock()
+	s.fifo = append(s.fifo, b)
+	s.mu.Unlock()
+}
+
+// FIFOLevel returns the number of bytes queued in the DAC FIFO.
+func (s *Sim) FIFOLevel() int { s.mu.Lock(); defer s.mu.Unlock(); return len(s.fifo) }
+
+// RaisePI latches the playback-interrupt flag in the alternate feature
+// status register I24 — the pipeline pulses it from the 8237's terminal
+// count. The driver acknowledges by writing the bit back as zero.
+func (s *Sim) RaisePI() {
+	s.mu.Lock()
+	s.indexed[RegAFS] |= AFSPI
+	s.mu.Unlock()
+}
+
+// Played returns every sample byte the DAC has consumed since the last
+// ResetPlayback, in order — the pipeline tests compare it against the clip
+// the driver streamed.
+func (s *Sim) Played() []byte {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]byte(nil), s.played...)
+}
+
+// Underrun reports whether the DAC starved mid-frame: playback enabled, a
+// partial sample frame in the FIFO, and the DMA channel unable to supply
+// the rest. A FIFO drained to empty over a masked channel is the clean
+// end-of-clip state, not an underrun.
+func (s *Sim) Underrun() bool { s.mu.Lock(); defer s.mu.Unlock(); return s.underrun }
+
+// ResetPlayback clears the playback record, the FIFO, and the underrun
+// latch (the registers keep their state).
+func (s *Sim) ResetPlayback() {
+	s.mu.Lock()
+	s.fifo = nil
+	s.played = nil
+	s.underrun = false
+	s.mu.Unlock()
+}
+
+// frameLocked decodes the programmed sample format: the virtual-clock
+// nanoseconds per sample frame and the frame size in bytes.
+func (s *Sim) frameLocked() (periodNS uint64, frameBytes int) {
+	pfmt := s.indexed[RegPfmt]
+	hz := rateHz[pfmt&0x0f]
+	if hz == 0 {
+		return 0, 0
+	}
+	frameBytes = 1
+	if pfmt&Pfmt16Bit != 0 {
+		frameBytes = 2
+	}
+	if pfmt&PfmtStereo != 0 {
+		frameBytes *= 2
+	}
+	return 1e9 / hz, frameBytes
+}
+
+// Pump streams up to maxFrames sample frames through the DAC on the shared
+// virtual clock: whenever the FIFO holds less than one frame, the engine
+// pulls a refill burst from the DMA channel; each consumed frame advances
+// the clock by one sample period. Pumping stops early when playback is
+// disabled, the Halt barrier fires (an interrupt is pending), the sample
+// clock is not programmed, or the channel runs dry. It returns the number
+// of frames consumed.
+func (s *Sim) Pump(maxFrames int) int {
+	frames := 0
+	for frames < maxFrames {
+		if s.Halt != nil && s.Halt() {
+			break
+		}
+		s.mu.Lock()
+		if s.indexed[RegIface]&IfacePEN == 0 {
+			s.mu.Unlock()
+			break
+		}
+		periodNS, frameBytes := s.frameLocked()
+		if frameBytes == 0 {
+			s.mu.Unlock()
+			break
+		}
+		level := len(s.fifo)
+		s.mu.Unlock()
+
+		if level < frameBytes {
+			// Refill the FIFO from the DMA channel (without holding the
+			// lock: the channel's sink re-enters FIFOPush).
+			if s.DREQ == nil || s.DREQ(FIFODepth-level) == 0 {
+				s.mu.Lock()
+				if len(s.fifo) > 0 {
+					s.underrun = true // a partial frame is stuck
+				}
+				s.mu.Unlock()
+				break
+			}
+			continue // recheck the barrier: the pull may have hit TC
+		}
+
+		s.mu.Lock()
+		s.played = append(s.played, s.fifo[:frameBytes]...)
+		s.fifo = append(s.fifo[:0], s.fifo[frameBytes:]...)
+		s.mu.Unlock()
+		if s.Clock != nil {
+			s.Clock.Advance(periodNS)
+		}
+		frames++
+	}
+	return frames
 }

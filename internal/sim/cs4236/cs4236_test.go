@@ -1,6 +1,11 @@
 package cs4236
 
-import "testing"
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/bus"
+)
 
 // TestIndexedRegisterWindow is the base automaton: the index written to R0
 // selects which register the data port addresses, and the selection holds
@@ -102,5 +107,119 @@ func TestBackdoorExt(t *testing.T) {
 	s.BusWrite(PortData, 8, (25&0xf)<<4|I23XA4|I23XRAE)
 	if got := s.BusRead(PortData, 8); got != 0x5a {
 		t.Errorf("X25 through the window = %#x, want 0x5a", got)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Playback engine
+
+// program writes indexed register i through the front door.
+func program(s *Sim, i, v uint8) {
+	s.BusWrite(PortIndex, 8, uint32(i))
+	s.BusWrite(PortData, 8, uint32(v))
+}
+
+func TestPumpConsumesAtProgrammedRate(t *testing.T) {
+	var clk bus.Clock
+	s := New()
+	s.Clock = &clk
+	src := make([]byte, 64)
+	for i := range src {
+		src[i] = byte(i)
+	}
+	pos := 0
+	s.DREQ = func(n int) int {
+		moved := 0
+		for ; n > 0 && pos < len(src); n-- {
+			s.FIFOPush(src[pos])
+			pos++
+			moved++
+		}
+		return moved
+	}
+	// 16-bit stereo at 48 kHz: 4-byte frames, 20833ns periods.
+	program(s, RegPfmt, 0x0c|PfmtStereo|Pfmt16Bit)
+	program(s, RegIface, IfacePEN)
+
+	if got := s.Pump(10); got != 10 {
+		t.Fatalf("pumped %d frames, want 10", got)
+	}
+	if got := clk.Now(); got != 10*(uint64(1e9)/48000) {
+		t.Errorf("clock = %d ns, want 10 sample periods", got)
+	}
+	// Drain the rest: 64 bytes = 16 frames total, then a clean stop
+	// (empty FIFO over a dry channel is not an underrun).
+	if got := s.Pump(1000); got != 6 {
+		t.Errorf("pumped %d more frames, want 6", got)
+	}
+	if s.Underrun() {
+		t.Error("clean end of data flagged as underrun")
+	}
+	if !bytes.Equal(s.Played(), src) {
+		t.Errorf("played % x,\nwant % x", s.Played(), src)
+	}
+}
+
+func TestPumpHonoursPENHaltAndUnderrun(t *testing.T) {
+	s := New()
+	s.DREQ = func(n int) int { return 0 }
+	program(s, RegPfmt, 0x00) // 8 kHz mono 8-bit
+	if got := s.Pump(5); got != 0 {
+		t.Fatalf("pumped %d frames with PEN clear, want 0", got)
+	}
+
+	program(s, RegIface, IfacePEN)
+	halt := true
+	s.Halt = func() bool { return halt }
+	if got := s.Pump(5); got != 0 {
+		t.Fatalf("pumped %d frames against the barrier, want 0", got)
+	}
+	halt = false
+
+	// A partial frame stuck over a dry channel IS an underrun: 16-bit
+	// frames with one byte queued.
+	program(s, RegPfmt, 0x0c|Pfmt16Bit)
+	s.FIFOPush(0xaa)
+	if got := s.Pump(5); got != 0 {
+		t.Fatalf("pumped %d frames from a starved FIFO, want 0", got)
+	}
+	if !s.Underrun() {
+		t.Error("mid-frame starvation not flagged as underrun")
+	}
+
+	// Reserved divider encodings give no sample clock.
+	s.ResetPlayback()
+	program(s, RegPfmt, 0x08)
+	s.FIFOPush(0x11)
+	if got := s.Pump(5); got != 0 {
+		t.Errorf("pumped %d frames with no sample clock, want 0", got)
+	}
+}
+
+// TestAFSWriteAcksAllFlags: a host write to I24 acknowledges every pending
+// interrupt flag regardless of the written value, so the two driver
+// variants' ack styles (write-back-as-zero vs masked read-modify-write)
+// cannot diverge about a concurrently pending capture/timer interrupt.
+func TestAFSWriteAcksAllFlags(t *testing.T) {
+	s := New()
+	s.RaisePI()
+	s.mu.Lock()
+	s.indexed[RegAFS] |= AFSCI | AFSTI
+	s.mu.Unlock()
+	// The devil-style ack: everything but PI written as zero.
+	program(s, RegAFS, 0x00)
+	if got := s.Indexed(RegAFS) & afsFlags; got != 0 {
+		t.Errorf("flags = %#x after zero ack, want all clear", got)
+	}
+
+	s.RaisePI()
+	s.mu.Lock()
+	s.indexed[RegAFS] |= AFSCI
+	s.mu.Unlock()
+	// The hand-style ack: read-modify-write preserving the other flags in
+	// the written value — the hardware still clears them all.
+	program(s, RegAFS, AFSCI)
+	if got := s.Indexed(RegAFS) & afsFlags; got != 0 {
+		t.Errorf("flags = %#x after read-modify-write ack, want all clear", got)
 	}
 }

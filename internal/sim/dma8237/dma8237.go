@@ -19,7 +19,11 @@
 // impossible.
 package dma8237
 
-import "sync"
+import (
+	"sync"
+
+	"repro/internal/bus"
+)
 
 // Port offsets relative to the device's io parameter.
 const (
@@ -45,6 +49,14 @@ const (
 // Sim is a simulated 8237A (channel 0 plus the shared control registers).
 // It implements bus.Handler over the sparse 13-port window. The zero value
 // has the flip-flop cleared and all channels masked off hardware-style.
+//
+// The data-movement fields wire channel 0 into a machine: Mem is the
+// simulated main memory the channel addresses (Page supplying the address
+// bits above the controller's 16, like the ISA page register), Sink and
+// Source are the device ends of the channel (one byte per DMA cycle), and
+// OnTC is the terminal-count pulse (the EOP line) — the sound pipeline
+// routes it into pic8259.Raise. All are optional; left nil, Transfer only
+// steps the address/count registers as before.
 type Sim struct {
 	mu sync.Mutex
 
@@ -56,6 +68,13 @@ type Sim struct {
 	status uint8    // 3..0 TC reached, 7..4 request
 	mask   uint8    // 4 mask bits
 	mode   [4]uint8 // last mode word per channel
+
+	// Wiring; set before traffic, never changed mid-experiment.
+	Mem    *bus.RAM     // simulated main memory the channel reads/writes
+	Page   uint32       // address bits 16+ (the ISA page register)
+	Sink   func(uint8)  // device end of a read transfer (memory -> device)
+	Source func() uint8 // device end of a write transfer (device -> memory)
+	OnTC   func()       // terminal-count pulse (EOP)
 }
 
 // New returns a controller with all channels masked, as after reset.
@@ -70,6 +89,14 @@ func (s *Sim) BaseAddr0() uint16 { s.mu.Lock(); defer s.mu.Unlock(); return s.ba
 
 // BaseCount0 returns channel 0's programmed base word count.
 func (s *Sim) BaseCount0() uint16 { s.mu.Lock(); defer s.mu.Unlock(); return s.baseCount }
+
+// CurAddr0 returns channel 0's live current address without touching the
+// flip-flop (a test backdoor; the port readout toggles it).
+func (s *Sim) CurAddr0() uint16 { s.mu.Lock(); defer s.mu.Unlock(); return s.curAddr }
+
+// CurCount0 returns channel 0's live current word count without touching
+// the flip-flop.
+func (s *Sim) CurCount0() uint16 { s.mu.Lock(); defer s.mu.Unlock(); return s.curCount }
 
 // Mode returns the last mode word written for channel ch.
 func (s *Sim) Mode(ch int) uint8 { s.mu.Lock(); defer s.mu.Unlock(); return s.mode[ch&3] }
@@ -94,35 +121,64 @@ func (s *Sim) Request(ch int, on bool) {
 	}
 }
 
-// Transfer runs up to units transfer cycles on channel 0: the current
-// address steps (down in decrement mode), the word count decrements, and
-// counting past zero sets the terminal-count flag (reloading the base
-// registers in auto-init mode). It returns the number of cycles actually
-// run; a masked channel runs none.
+// Transfer runs up to units transfer cycles on channel 0. Each cycle moves
+// one byte between Mem and the device end (Sink for read transfers,
+// Source for write transfers, when wired), steps the current address (down
+// in decrement mode), and decrements the word count; counting past zero
+// raises terminal count (the datasheet's N+1 cycles for a programmed count
+// of N). At TC the status TC flag is set and OnTC pulses; in auto-init
+// mode the current address and count reload from the base registers and
+// the channel stays unmasked, otherwise the channel masks itself. The
+// request flag is the device's DREQ image and is left untouched — hardware
+// does not clear it at TC (the pre-pipeline simulator did; that divergence
+// starved auto-init rings after their first revolution).
+//
+// Transfer returns the number of cycles actually run. It stops at TC even
+// with cycles remaining, so callers observe the ring boundary (EOP); a
+// masked channel runs none. Callbacks are invoked without the internal
+// lock held, so sinks may re-enter the bus or other simulators freely.
 func (s *Sim) Transfer(units int) int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.mask&1 != 0 {
-		return 0
-	}
 	done := 0
 	for ; units > 0; units-- {
-		if s.mode[0]&ModeDown != 0 {
+		s.mu.Lock()
+		if s.mask&1 != 0 {
+			s.mu.Unlock()
+			break
+		}
+		mode := s.mode[0]
+		phys := s.Page<<16 | uint32(s.curAddr)
+		if mode&ModeDown != 0 {
 			s.curAddr--
 		} else {
 			s.curAddr++
 		}
 		tc := s.curCount == 0
 		s.curCount--
-		done++
 		if tc {
 			s.status |= 0x01
-			s.status &^= 0x10
-			if s.mode[0]&ModeAutoInit != 0 {
+			if mode&ModeAutoInit != 0 {
 				s.curAddr = s.baseAddr
 				s.curCount = s.baseCount
 			} else {
 				s.mask |= 1 // hardware masks the channel at terminal count
+			}
+		}
+		s.mu.Unlock()
+
+		switch mode & (ModeXferRead | ModeXferWrite) {
+		case ModeXferRead: // memory -> device
+			if s.Mem != nil && s.Sink != nil {
+				s.Sink(s.Mem.Data[phys])
+			}
+		case ModeXferWrite: // device -> memory
+			if s.Mem != nil && s.Source != nil {
+				s.Mem.Data[phys] = s.Source()
+			}
+		}
+		done++
+		if tc {
+			if s.OnTC != nil {
+				s.OnTC()
 			}
 			break
 		}

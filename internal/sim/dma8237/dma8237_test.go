@@ -1,6 +1,11 @@
 package dma8237
 
-import "testing"
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/bus"
+)
 
 func write16(s *Sim, port uint32, v uint16) {
 	s.BusWrite(PortClearFF, 8, 0)
@@ -105,6 +110,124 @@ func TestAutoInitReloads(t *testing.T) {
 	// The current registers reloaded: another full run is possible.
 	if got := s.Transfer(2); got != 2 {
 		t.Errorf("second run transferred %d, want 2", got)
+	}
+}
+
+// TestAutoInitDatasheetSemantics round-trips the sound pipeline's
+// auto-init mode against the 8237A datasheet: at terminal count the
+// current address AND current count reload from the base registers, the
+// TC status flag is set on every revolution, the channel stays unmasked,
+// and the request flag (the DREQ image) is NOT cleared — the pre-pipeline
+// simulator dropped it at TC, which would starve an auto-init ring after
+// its first revolution.
+func TestAutoInitDatasheetSemantics(t *testing.T) {
+	s := New()
+	s.Request(0, true) // device holds DREQ for the whole stream
+	write16(s, PortAddr0, 0x2000)
+	write16(s, PortCount0, 7) // 8-cycle revolutions
+	s.BusWrite(PortMode, 8, ModeXferRead|ModeAutoInit|0)
+	s.BusWrite(PortMask, 8, 0)
+
+	for rev := 0; rev < 3; rev++ {
+		if got := s.Transfer(100); got != 8 {
+			t.Fatalf("revolution %d: %d cycles, want 8 (count+1, stop at TC)", rev, got)
+		}
+		if s.CurAddr0() != 0x2000 || s.CurCount0() != 7 {
+			t.Fatalf("revolution %d: current regs = %#x/%d, want reload to base 0x2000/7",
+				rev, s.CurAddr0(), s.CurCount0())
+		}
+		if s.Masked(0) {
+			t.Fatalf("revolution %d: auto-init channel masked itself", rev)
+		}
+		st := s.BusRead(PortStatus, 8)
+		if st&0x01 == 0 {
+			t.Fatalf("revolution %d: TC flag not set, status %#x", rev, st)
+		}
+		if st>>4&0x1 == 0 {
+			t.Fatalf("revolution %d: request flag cleared at TC, status %#x", rev, st)
+		}
+	}
+}
+
+// TestFlipFlopSurvivesTransfer: terminal count and auto-init reload are
+// DMA-cycle machinery; they must not disturb the program-I/O byte pointer.
+// Reprogramming the count mid-transfer with a stale flip-flop still lands
+// the byte in the high half — the serialization hazard is observable across
+// a running transfer exactly as on an idle controller.
+func TestFlipFlopSurvivesTransfer(t *testing.T) {
+	s := New()
+	write16(s, PortAddr0, 0x100)
+	write16(s, PortCount0, 63)
+	s.BusWrite(PortMode, 8, ModeXferRead|ModeAutoInit|0)
+	s.BusWrite(PortMask, 8, 0)
+
+	// Leave the flip-flop pointing at the high byte, then run through TC.
+	s.BusWrite(PortClearFF, 8, 0)
+	s.BusWrite(PortAddr0, 8, 0x34) // low byte only
+	if !s.FlipFlop() {
+		t.Fatal("flip-flop should point high after a single byte")
+	}
+	s.Transfer(64)
+	if !s.FlipFlop() {
+		t.Error("Transfer must not touch the first/last flip-flop")
+	}
+	// The next count byte lands in the HIGH half: the shared flip-flop
+	// hazard across reprogramming mid-stream.
+	s.BusWrite(PortCount0, 8, 0x02)
+	if got := s.BaseCount0(); got != 0x023f {
+		t.Errorf("count = %#x, want the high-byte splice 0x023f", got)
+	}
+}
+
+// TestTransferMovesBytes: a read transfer carries bytes from the page-
+// adjusted memory address into the device sink, one per cycle, in address
+// order; a write transfer fills memory from the source.
+func TestTransferMovesBytes(t *testing.T) {
+	mem := bus.NewRAM(0x30010)
+	for i := 0; i < 16; i++ {
+		mem.Data[0x20000+i] = byte(0xa0 + i)
+	}
+	var got []byte
+	tcs := 0
+	s := New()
+	s.Mem = mem
+	s.Page = 2 // physical = 0x20000 | addr16
+	s.Sink = func(b uint8) { got = append(got, b) }
+	s.OnTC = func() { tcs++ }
+	write16(s, PortAddr0, 0x0000)
+	write16(s, PortCount0, 15)
+	s.BusWrite(PortMode, 8, ModeXferRead|0)
+	s.BusWrite(PortMask, 8, 0)
+
+	if n := s.Transfer(9); n != 9 {
+		t.Fatalf("first burst = %d cycles, want 9", n)
+	}
+	if n := s.Transfer(100); n != 7 {
+		t.Fatalf("second burst = %d cycles, want the 7 remaining", n)
+	}
+	if !bytes.Equal(got, mem.Data[0x20000:0x20010]) {
+		t.Errorf("sink saw % x, want % x", got, mem.Data[0x20000:0x20010])
+	}
+	if tcs != 1 {
+		t.Errorf("OnTC pulsed %d times, want 1", tcs)
+	}
+	if !s.Masked(0) {
+		t.Error("single-shot channel must mask itself at TC")
+	}
+
+	// Write transfer: device -> memory.
+	s = New()
+	s.Mem = mem
+	s.Page = 3
+	next := byte(0)
+	s.Source = func() uint8 { next++; return next }
+	write16(s, PortAddr0, 0x0004)
+	write16(s, PortCount0, 3)
+	s.BusWrite(PortMode, 8, ModeXferWrite|0)
+	s.BusWrite(PortMask, 8, 0)
+	s.Transfer(8)
+	if !bytes.Equal(mem.Data[0x30004:0x30008], []byte{1, 2, 3, 4}) {
+		t.Errorf("memory = % x, want 01 02 03 04", mem.Data[0x30004:0x30008])
 	}
 }
 
