@@ -53,6 +53,11 @@ func ideRowBench(b *testing.B, cfg idedrv.Config) {
 				b.ReportMetric(r.StdMBs, "std-MB/s")
 				b.ReportMetric(r.DevilMBs, "devil-MB/s")
 				b.ReportMetric(r.Ratio*100, "ratio-%")
+				// Port-operation counts (lower is better): the bench gate
+				// catches a codegen change that reopens the devil-vs-hand
+				// I/O gap.
+				b.ReportMetric(float64(r.StdOps), "std-ops/op")
+				b.ReportMetric(float64(r.DevilOps), "devil-ops/op")
 			}
 		}
 	}
@@ -110,6 +115,8 @@ func gfxBench(b *testing.B, copyTest bool) {
 							b.ReportMetric(r.StdRate, "std-prim/s")
 							b.ReportMetric(r.DevilRate, "devil-prim/s")
 							b.ReportMetric(r.Ratio*100, "ratio-%")
+							b.ReportMetric(float64(r.StdWrites), "std-ops/op")
+							b.ReportMetric(float64(r.DevilWrites), "devil-ops/op")
 						}
 					}
 				}
@@ -139,6 +146,8 @@ func BenchmarkTable5(b *testing.B) {
 				b.ReportMetric(r.StdMBs, "std-MB/s")
 				b.ReportMetric(r.DevilMBs, "devil-MB/s")
 				b.ReportMetric(r.Ratio*100, "ratio-%")
+				b.ReportMetric(float64(r.StdOps), "std-ops/op")
+				b.ReportMetric(float64(r.DevilOps), "devil-ops/op")
 			}
 		})
 	}

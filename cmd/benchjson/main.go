@@ -4,7 +4,7 @@
 // Usage:
 //
 //	benchjson [-o BENCH_ci.json] [bench.txt]
-//	benchjson -compare [-threshold 0.20] [-suffix MB/s] [-allow-missing] old.json new.json
+//	benchjson -compare [-threshold 0.20] [-suffix MB/s] [-lower] [-allow-missing] old.json new.json
 //
 // The first form parses benchmark result lines (every `-count` repetition
 // becomes one sample) and writes the JSON artifact the CI bench job
@@ -13,8 +13,9 @@
 // The second form compares two artifacts and exits non-zero when any
 // shared metric whose unit ends in -suffix (default "MB/s", the paper's
 // Table 2 throughput unit) regressed by more than -threshold. Higher is
-// assumed to be better for these metrics; benchstat renders the
-// human-readable delta table next to this gate.
+// assumed to be better for these metrics unless -lower says otherwise
+// (port-operation counts such as "ops/op" regress by growing); benchstat
+// renders the human-readable delta table next to this gate.
 //
 // A gated metric present in the baseline but absent from the current run
 // is also a failure: a deleted benchmark would otherwise silently delete
@@ -52,6 +53,7 @@ func main() {
 	compare := flag.Bool("compare", false, "compare two JSON artifacts instead of converting")
 	threshold := flag.Float64("threshold", 0.20, "maximum tolerated relative regression in compare mode")
 	suffix := flag.String("suffix", "MB/s", "unit suffix of the gated metrics in compare mode")
+	lower := flag.Bool("lower", false, "gated metrics are lower-is-better (operation counts) instead of throughput")
 	allowMissing := flag.Bool("allow-missing", false,
 		"tolerate gated baseline metrics absent from the current run (intentional benchmark removals)")
 	flag.Parse()
@@ -71,7 +73,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "benchjson:", err)
 			os.Exit(1)
 		}
-		regressions, missing := Compare(old, cur, *suffix, *threshold, os.Stdout)
+		regressions, missing := Compare(old, cur, *suffix, *threshold, *lower, os.Stdout)
 		os.Exit(Gate(regressions, missing, *allowMissing, *threshold, os.Stderr))
 	}
 
@@ -220,11 +222,12 @@ func mean(xs []float64) float64 {
 
 // Compare reports every gated metric of the baseline against the current
 // run. It returns how many shared metrics regressed by more than threshold
-// (higher is better for throughput metrics) and how many gated baseline
-// metrics are missing from the current run — each printed as a "missing:"
-// line, because a deleted benchmark must lose its regression protection
-// loudly, not silently. Benchmarks only in cur are additions, not gated.
-func Compare(old, cur *File, suffix string, threshold float64, w io.Writer) (regressions, missing int) {
+// (higher is better for throughput metrics; lower flips the direction for
+// operation-count metrics) and how many gated baseline metrics are missing
+// from the current run — each printed as a "missing:" line, because a
+// deleted benchmark must lose its regression protection loudly, not
+// silently. Benchmarks only in cur are additions, not gated.
+func Compare(old, cur *File, suffix string, threshold float64, lower bool, w io.Writer) (regressions, missing int) {
 	curBy := map[string]Benchmark{}
 	for _, b := range cur.Benchmarks {
 		curBy[b.Name] = b
@@ -261,8 +264,12 @@ func Compare(old, cur *File, suffix string, threshold float64, w io.Writer) (reg
 			}
 			c := mean(cb.Metrics[unit])
 			delta := (c - o) / o
+			bad := delta < -threshold
+			if lower {
+				bad = delta > threshold
+			}
 			verdict := "ok"
-			if delta < -threshold {
+			if bad {
 				verdict = "REGRESSION"
 				regressions++
 			}

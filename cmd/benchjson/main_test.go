@@ -67,13 +67,13 @@ func TestCompareFlagsRegression(t *testing.T) {
 
 	// Within the threshold: no regression.
 	cur := benchFile("BenchmarkTable2IDE/dma-16", "devil-MB/s", 30.0)
-	if n, m := Compare(old, cur, "MB/s", 0.20, &out); n != 0 || m != 0 {
+	if n, m := Compare(old, cur, "MB/s", 0.20, false, &out); n != 0 || m != 0 {
 		t.Errorf("regressions, missing = %d, %d, want 0, 0 for a 10%% dip", n, m)
 	}
 
 	// Beyond the threshold: flagged.
 	cur = benchFile("BenchmarkTable2IDE/dma-16", "devil-MB/s", 20.0)
-	if n, _ := Compare(old, cur, "MB/s", 0.20, &out); n != 1 {
+	if n, _ := Compare(old, cur, "MB/s", 0.20, false, &out); n != 1 {
 		t.Errorf("regressions = %d, want 1 for a 40%% drop", n)
 	}
 	if !strings.Contains(out.String(), "REGRESSION") {
@@ -99,7 +99,7 @@ func TestCompareCountsMissingBaselineMetrics(t *testing.T) {
 			"std-MB/s": {11}, "ns/op": {2}}},
 	}}
 	var out strings.Builder
-	n, m := Compare(old, cur, "MB/s", 0.20, &out)
+	n, m := Compare(old, cur, "MB/s", 0.20, false, &out)
 	if n != 0 {
 		t.Errorf("regressions = %d, want 0", n)
 	}
@@ -117,7 +117,7 @@ func TestCompareCountsMissingBaselineMetrics(t *testing.T) {
 	}
 
 	// Identical coverage: nothing missing.
-	if _, m := Compare(cur, cur, "MB/s", 0.20, &out); m != 0 {
+	if _, m := Compare(cur, cur, "MB/s", 0.20, false, &out); m != 0 {
 		t.Errorf("self-compare missing = %d, want 0", m)
 	}
 }
@@ -151,11 +151,38 @@ func TestGateMissingPolicy(t *testing.T) {
 	}
 }
 
+// TestCompareLowerIsBetter covers the -lower direction used for the
+// port-operation count gate: growth is the regression, shrinkage the
+// improvement — exactly opposite to the throughput gate.
+func TestCompareLowerIsBetter(t *testing.T) {
+	old := benchFile("BenchmarkTable5/ring4", "devil-ops/op", 31)
+	var out strings.Builder
+
+	// Ops grew 29%: the optimizer lost ground, flag it.
+	cur := benchFile("BenchmarkTable5/ring4", "devil-ops/op", 40)
+	if n, _ := Compare(old, cur, "ops/op", 0.20, true, &out); n != 1 {
+		t.Errorf("regressions = %d, want 1 for an ops increase", n)
+	}
+
+	// Ops shrank: an improvement, never a regression.
+	cur = benchFile("BenchmarkTable5/ring4", "devil-ops/op", 20)
+	if n, _ := Compare(old, cur, "ops/op", 0.20, true, &out); n != 0 {
+		t.Errorf("regressions = %d, want 0 for an ops decrease", n)
+	}
+
+	// The same increase under the throughput direction would pass, so the
+	// flag really is what flips the gate.
+	cur = benchFile("BenchmarkTable5/ring4", "devil-ops/op", 40)
+	if n, _ := Compare(old, cur, "ops/op", 0.20, false, &out); n != 0 {
+		t.Errorf("regressions = %d, want 0 without -lower", n)
+	}
+}
+
 func TestCompareImprovementPasses(t *testing.T) {
 	old := benchFile("B", "std-MB/s", 10)
 	cur := benchFile("B", "std-MB/s", 50)
 	var out strings.Builder
-	if n, m := Compare(old, cur, "MB/s", 0.20, &out); n != 0 || m != 0 {
+	if n, m := Compare(old, cur, "MB/s", 0.20, false, &out); n != 0 || m != 0 {
 		t.Errorf("regressions, missing = %d, %d, want 0, 0 for an improvement", n, m)
 	}
 }

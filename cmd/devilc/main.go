@@ -3,11 +3,16 @@
 //
 // Usage:
 //
-//	devilc [-check] [-pkg name] [-debug] [-o out.go] spec.dil
-//	devilc -update [-root dir]
+//	devilc [-check] [-pkg name] [-debug] [-O level] [-o out.go] spec.dil
+//	devilc -update [-root dir] [-O level]
 //
 // With -check the specification is only verified (§3.1 properties) and
 // diagnostics are printed. Otherwise Go stubs are written to -o (or stdout).
+//
+// -O selects the optimization level of the generated port-access plans:
+// -O 1 (the default) enables all peephole passes — coalesce, constfold,
+// elide-rmw, batch-index — and -O 0 disables them, emitting one port
+// access per variable write.
 //
 // With -update devilc regenerates every checked-in stub package of the
 // specification library (gen.Library) under the repository root given by
@@ -22,6 +27,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/devil/codegen"
+	"repro/internal/devil/ir"
 	"repro/internal/gen"
 )
 
@@ -31,16 +37,23 @@ func main() {
 	debug := flag.Bool("debug", false, "generate with runtime checks enabled")
 	out := flag.String("o", "", "output file (default: stdout)")
 	busImport := flag.String("bus", "", "bus package import path")
+	optFlag := flag.String("O", "1", "optimization level (0 disables all peephole passes)")
 	update := flag.Bool("update", false, "regenerate every checked-in library stub package")
 	root := flag.String("root", ".", "repository root for -update")
 	flag.Parse()
 
+	level, err := ir.ParseLevel(*optFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "devilc:", err)
+		os.Exit(2)
+	}
+
 	if *update {
 		if flag.NArg() != 0 {
-			fmt.Fprintln(os.Stderr, "usage: devilc -update [-root dir]")
+			fmt.Fprintln(os.Stderr, "usage: devilc -update [-root dir] [-O level]")
 			os.Exit(2)
 		}
-		if err := updateLibrary(*root); err != nil {
+		if err := updateLibrary(*root, level); err != nil {
 			fmt.Fprintln(os.Stderr, "devilc:", err)
 			os.Exit(1)
 		}
@@ -48,7 +61,7 @@ func main() {
 	}
 
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: devilc [-check] [-pkg name] [-debug] [-o out.go] spec.dil | devilc -update [-root dir]")
+		fmt.Fprintln(os.Stderr, "usage: devilc [-check] [-pkg name] [-debug] [-O level] [-o out.go] spec.dil | devilc -update [-root dir] [-O level]")
 		os.Exit(2)
 	}
 	src, err := os.ReadFile(flag.Arg(0))
@@ -72,6 +85,7 @@ func main() {
 		Package:   *pkg,
 		Debug:     *debug,
 		BusImport: *busImport,
+		Opt:       level,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -88,9 +102,9 @@ func main() {
 }
 
 // updateLibrary regenerates the checked-in stub files from the embedded
-// library specifications.
-func updateLibrary(root string) error {
-	results, err := gen.Update(root, gen.Library)
+// library specifications at the given optimization level.
+func updateLibrary(root string, level ir.OptLevel) error {
+	results, err := gen.UpdateLevel(root, gen.Library, level)
 	for _, r := range results {
 		if r.Changed {
 			fmt.Printf("%s regenerated\n", r.Path)

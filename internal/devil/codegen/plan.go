@@ -1,0 +1,134 @@
+package codegen
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/devil/ir"
+	"repro/internal/devil/sema"
+)
+
+// buildWritePlan lowers one top-level setter to its port-access plan: the
+// register compositions, forced-bit masks, context calls, port writes and
+// cache updates the write performs, in emission order. The optimizer
+// passes transform the plan before emitSteps renders it back to Go.
+func (g *generator) buildWritePlan(v *sema.Variable, argName string) (*ir.Plan, error) {
+	p := &ir.Plan{Method: g.setterName(v)}
+	if el := g.info.Eligible(v, g.passes); el != nil {
+		guard := &ir.Guard{
+			Ok:     "d." + g.okField(el.Reg),
+			Shadow: "d." + g.shadowField(el.Reg),
+		}
+		for _, c := range el.Cells {
+			guard.Cells = append(guard.Cells, fmt.Sprintf("d.%s == %#x", g.cellField(c.Cell), c.Val))
+		}
+		p.Elide = guard
+		p.Ctx = el.Ctx
+	}
+	for _, step := range v.Order {
+		if step.Guard != nil {
+			return nil, fmt.Errorf("codegen: guarded variable writes are not supported (%s)", v.Name)
+		}
+		reg := step.Reg
+		or, and := reg.ForcedBits()
+		neutral, nmask := g.neutralConst(reg, v)
+		keep := g.keepMask(reg, v)
+
+		expr := &ir.Expr{Terms: []ir.Term{{Text: scatterExpr(reg, v, "raw"), Mask: varMask(reg, v)}}}
+		if neutral != 0 {
+			expr.Terms = append(expr.Terms, ir.Term{Const: neutral, Mask: nmask})
+		}
+		if keep != 0 {
+			expr.Terms = append(expr.Terms, ir.Term{
+				Text: fmt.Sprintf("d.%s&%#x", g.shadowField(reg), keep),
+				Mask: keep,
+			})
+		}
+		p.Steps = append(p.Steps,
+			&ir.Step{Kind: ir.SCompose, Reg: reg, Expr: expr},
+			&ir.Step{Kind: ir.SMask, Reg: reg, And: and, Or: or, Full: careAll(reg.Write.Port.Width)})
+		for _, a := range reg.Pre {
+			txt, err := g.renderAction(a, v, argName)
+			if err != nil {
+				return nil, err
+			}
+			kind := ir.SAction
+			if a.TargetVar != nil && !a.TargetVar.Cell {
+				kind = ir.SCtxCall
+			}
+			p.Steps = append(p.Steps, &ir.Step{Kind: kind, Reg: reg, Text: txt})
+		}
+		p.Steps = append(p.Steps, &ir.Step{Kind: ir.SWrite, Reg: reg,
+			Text: fmt.Sprintf("d.bus.Out%d(d.%s+%d, %s(out))",
+				reg.Write.Port.Width, g.portField(reg.Write.Port), reg.Write.Offset, regWord(reg.Write.Port.Width))})
+		if g.shadowed[reg] || g.guarded[reg] {
+			p.Steps = append(p.Steps, &ir.Step{Kind: ir.SShadow, Reg: reg,
+				Text: fmt.Sprintf("d.%s = out", g.shadowField(reg))})
+		}
+		if g.guarded[reg] {
+			p.Steps = append(p.Steps, &ir.Step{Kind: ir.SOkFlag, Reg: reg,
+				Text: fmt.Sprintf("d.%s = true", g.okField(reg))})
+		}
+		for _, a := range reg.Set {
+			txt, err := g.renderAction(a, v, argName)
+			if err != nil {
+				return nil, err
+			}
+			if a.TargetVar != nil && a.TargetVar.Cell && a.Value.Kind == sema.ValConst {
+				p.Steps = append(p.Steps, &ir.Step{Kind: ir.SCellSet, Reg: reg, Text: txt,
+					Cell: a.TargetVar, Val: a.Value.Const})
+			} else {
+				p.Steps = append(p.Steps, &ir.Step{Kind: ir.SAction, Reg: reg, Text: txt})
+			}
+		}
+		for _, a := range reg.Post {
+			txt, err := g.renderAction(a, v, argName)
+			if err != nil {
+				return nil, err
+			}
+			p.Steps = append(p.Steps, &ir.Step{Kind: ir.SAction, Reg: reg, Text: txt})
+		}
+	}
+	return p, nil
+}
+
+// renderAction compiles one action to its statement text (possibly
+// multi-line) by capturing the emitActions output.
+func (g *generator) renderAction(a *sema.Action, cur *sema.Variable, argName string) (string, error) {
+	saved := g.b
+	g.b = strings.Builder{}
+	err := g.emitActions([]*sema.Action{a}, cur, argName, "")
+	out := strings.TrimSuffix(g.b.String(), "\n")
+	g.b = saved
+	if err != nil {
+		return "", err
+	}
+	return out, nil
+}
+
+// emitSteps renders an optimized plan back to Go statements. One out
+// variable serves the whole plan (multi-register write plans reuse it);
+// outDeclared tracks whether it has been declared yet.
+func (g *generator) emitSteps(steps []*ir.Step, indent string, outDeclared *bool) {
+	for _, s := range steps {
+		switch s.Kind {
+		case ir.SCompose:
+			if *outDeclared {
+				g.p("%sout = %s", indent, s.Expr.Render())
+			} else {
+				g.p("%sout := %s", indent, s.Expr.Render())
+				*outDeclared = true
+			}
+		case ir.SMask:
+			g.p("%sout = out&%#x | %#x", indent, s.And, s.Or)
+		case ir.SGuard:
+			g.p("%sif !(%s) {", indent, s.Cond)
+			g.emitSteps(s.Body, indent+"\t", outDeclared)
+			g.p("%s}", indent)
+		default:
+			for _, line := range strings.Split(s.Text, "\n") {
+				g.p("%s%s", indent, line)
+			}
+		}
+	}
+}

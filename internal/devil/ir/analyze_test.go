@@ -1,0 +1,148 @@
+package ir_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/devil/ir"
+	"repro/internal/devil/sema"
+	"repro/internal/specs"
+)
+
+// TestAnalyzeLibrary audits the elision eligibility of every variable in
+// the real specification library: the optimizer must guard exactly the
+// variables whose register state is provably stable, and nothing with
+// trigger, acknowledge, volatile, or positional-protocol semantics.
+func TestAnalyzeLibrary(t *testing.T) {
+	cases := []struct {
+		device string
+		src    []byte
+		ctx    []string // context-selector class (batch-index)
+		data   []string // data class (elide-rmw)
+	}{
+		{
+			device: "cs4236",
+			src:    specs.CS4236,
+			ctx:    []string{"IA"},
+			// pi is volatile (device-raised interrupt flag: the rewrite is
+			// the ack), ext is register-family-parameterized, the XS/pfmt
+			// fields are structure-staged.
+			data: []string{"afe2", "ACF", "pen", "sdc"},
+		},
+		{
+			device: "ne2000",
+			src:    specs.NE2000,
+			// page shares cr with the volatile neutral-trigger st/txp/rd,
+			// which compose as constants and never block elision.
+			ctx: []string{"page"},
+			// bnry/curr are volatile ring pointers, isr_ack and the page-0
+			// config registers are write-only, remote_data is a block
+			// trigger.
+			data: []string{
+				"par0", "par1", "par2", "par3", "par4", "par5",
+				"mar0", "mar1", "mar2", "mar3", "mar4", "mar5", "mar6", "mar7",
+			},
+		},
+		{
+			device: "ide",
+			src:    specs.IDE,
+			ctx:    nil,
+			// nsect is volatile (the device decrements it), features and
+			// command are write-only command registers, ide_data is the
+			// data port.
+			data: []string{"lba_low", "lba_mid", "lba_high", "lba_mode", "drive", "head"},
+		},
+		// The positional-protocol and acknowledge-driven devices must have
+		// no elidable variables at all: the 8237A flip-flop byte pairs and
+		// the 8259A ICW sequence are unwindowed port sharers, the busmouse
+		// index register shares its offset with the interrupt register.
+		{device: "dma8237", src: specs.DMA8237},
+		{device: "pic8259", src: specs.PIC8259},
+		{device: "busmouse", src: specs.Busmouse},
+		{device: "permedia2", src: specs.Permedia2},
+		{device: "piix4", src: specs.PIIX4},
+	}
+	for _, tc := range cases {
+		t.Run(tc.device, func(t *testing.T) {
+			spec := core.MustCompile(tc.src)
+			info := ir.Analyze(spec)
+			want := map[string]bool{} // name -> ctx class
+			for _, n := range tc.ctx {
+				want[n] = true
+			}
+			for _, n := range tc.data {
+				want[n] = false
+			}
+			got := map[string]bool{}
+			for v, el := range info.Elidable {
+				got[v.Name] = el.Ctx
+			}
+			for n, ctx := range want {
+				el, ok := got[n]
+				if !ok {
+					t.Errorf("%s: not elidable, want %s class", n, class(ctx))
+					continue
+				}
+				if el != ctx {
+					t.Errorf("%s: %s class, want %s", n, class(el), class(ctx))
+				}
+			}
+			for n, ctx := range got {
+				if _, ok := want[n]; !ok {
+					t.Errorf("%s: unexpectedly elidable (%s class)", n, class(ctx))
+				}
+			}
+		})
+	}
+}
+
+func class(ctx bool) string {
+	if ctx {
+		return "ctx"
+	}
+	return "data"
+}
+
+// TestEligiblePassGating: context-selector variables ride BatchIndex, data
+// variables ElideRMW, and GuardedRegs follows the same gating.
+func TestEligiblePassGating(t *testing.T) {
+	spec := core.MustCompile(specs.CS4236)
+	info := ir.Analyze(spec)
+	var ia, pen *sema.Variable
+	for v := range info.Elidable {
+		switch v.Name {
+		case "IA":
+			ia = v
+		case "pen":
+			pen = v
+		}
+	}
+	if ia == nil || pen == nil {
+		t.Fatal("IA or pen missing from the cs4236 analysis")
+	}
+	if info.Eligible(ia, ir.Passes{BatchIndex: true}) == nil {
+		t.Error("IA not eligible under batch-index")
+	}
+	if info.Eligible(ia, ir.Passes{ElideRMW: true}) != nil {
+		t.Error("IA eligible under elide-rmw alone")
+	}
+	if info.Eligible(pen, ir.Passes{ElideRMW: true}) == nil {
+		t.Error("pen not eligible under elide-rmw")
+	}
+	if info.Eligible(pen, ir.Passes{BatchIndex: true}) != nil {
+		t.Error("pen eligible under batch-index alone")
+	}
+	if n := len(info.GuardedRegs(ir.Passes{})); n != 0 {
+		t.Errorf("GuardedRegs with no passes = %d registers", n)
+	}
+	all := info.GuardedRegs(ir.O1.Passes())
+	names := map[string]bool{}
+	for r := range all {
+		names[r.Name] = true
+	}
+	for _, want := range []string{"control", "I16", "I23", "I9"} {
+		if !names[want] {
+			t.Errorf("GuardedRegs missing %s (have %v)", want, names)
+		}
+	}
+}

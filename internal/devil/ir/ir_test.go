@@ -1,0 +1,168 @@
+package ir_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/devil/ir"
+	"repro/internal/devil/sema"
+)
+
+func TestLevels(t *testing.T) {
+	if l, err := ir.ParseLevel("0"); err != nil || l != ir.O0 {
+		t.Errorf("ParseLevel(0) = %v, %v", l, err)
+	}
+	if l, err := ir.ParseLevel("1"); err != nil || l != ir.O1 {
+		t.Errorf("ParseLevel(1) = %v, %v", l, err)
+	}
+	if _, err := ir.ParseLevel("9"); err == nil {
+		t.Error("ParseLevel(9) accepted")
+	}
+	if got := ir.O0.String(); got != "-O0" {
+		t.Errorf("O0.String() = %q", got)
+	}
+	// The zero value is the default level with every pass on, so existing
+	// codegen.Options{...} construction sites inherit the optimizer.
+	var def ir.OptLevel
+	p := def.Passes()
+	if !p.Coalesce || !p.ConstFold || !p.ElideRMW || !p.BatchIndex {
+		t.Errorf("default level passes = %+v, want all enabled", p)
+	}
+	if p := ir.O0.Passes(); p != (ir.Passes{}) {
+		t.Errorf("O0 passes = %+v, want none", p)
+	}
+	if got := ir.O0.Passes().String(); got != "none" {
+		t.Errorf("O0 pass names = %q", got)
+	}
+	if got := def.Passes().String(); got != "coalesce,constfold,elide-rmw,batch-index" {
+		t.Errorf("O1 pass names = %q", got)
+	}
+}
+
+// golden runs one pass over a plan and compares the stable listing.
+func golden(t *testing.T, name string, got *ir.Plan, want string) {
+	t.Helper()
+	if g, w := got.String(), strings.TrimLeft(want, "\n"); g != w {
+		t.Errorf("%s:\n--- got ---\n%s--- want ---\n%s", name, g, w)
+	}
+}
+
+func TestCoalesceGolden(t *testing.T) {
+	reg := &sema.Register{Name: "I9"}
+	ctx := func() *ir.Step { return &ir.Step{Kind: ir.SCtxCall, Reg: reg, Text: "d.SetIA(uint8(0x9))"} }
+	p := &ir.Plan{Method: "SetPen", Steps: []*ir.Step{
+		{Kind: ir.SCompose, Reg: reg, Expr: &ir.Expr{Terms: []ir.Term{{Text: "(raw & 0x1)", Mask: 0x1}}}},
+		ctx(),
+		{Kind: ir.SMask, Reg: reg, And: 0x5, Full: 0xff},
+		ctx(), // window already selected: dropped
+		{Kind: ir.SWrite, Reg: reg, Text: "d.bus.Out8(d.portBase+1, uint8(out))"},
+		ctx(), // a port operation intervened: kept
+	}}
+	golden(t, "coalesce", ir.Coalesce(p), `
+plan SetPen:
+  compose I9 = (raw & 0x1)
+  ctx d.SetIA(uint8(0x9)) -> I9
+  mask &0x5 |0x0
+  write I9
+  ctx d.SetIA(uint8(0x9)) -> I9
+`)
+}
+
+func TestConstFoldGolden(t *testing.T) {
+	reg := &sema.Register{Name: "ctl"}
+	p := &ir.Plan{Method: "SetX", Steps: []*ir.Step{
+		{Kind: ir.SCompose, Reg: reg, Expr: &ir.Expr{Terms: []ir.Term{
+			{Text: "(raw & 0x3)", Mask: 0x3},
+			{Const: 0x20, Mask: 0x20},            // trigger neutral: kept, merged
+			{Const: 0x00, Mask: 0xc0},            // zero constant: dropped
+			{Text: "d.shadowCtl&0x0", Mask: 0x0}, // masked-out keep: dropped
+		}}},
+		{Kind: ir.SMask, Reg: reg, And: 0xff, Or: 0x0, Full: 0xff}, // no-op: dropped
+		{Kind: ir.SWrite, Reg: reg, Text: "d.bus.Out8(d.portBase+0, uint8(out))"},
+	}}
+	golden(t, "constfold", ir.ConstFold(p), `
+plan SetX:
+  compose ctl = (raw & 0x3) | 0x20
+  write ctl
+`)
+	// A mask that forces bits is not a no-op and must survive.
+	p2 := &ir.Plan{Method: "SetY", Steps: []*ir.Step{
+		{Kind: ir.SMask, Reg: reg, And: 0x60, Or: 0x80, Full: 0xff},
+	}}
+	golden(t, "constfold-keep", ir.ConstFold(p2), `
+plan SetY:
+  mask &0x60 |0x80
+`)
+}
+
+func elidablePlan(ctx bool) *ir.Plan {
+	reg := &sema.Register{Name: "I9"}
+	return &ir.Plan{
+		Method: "SetPen",
+		Ctx:    ctx,
+		Elide:  &ir.Guard{Ok: "d.okI9", Shadow: "d.shadowI9", Cells: []string{"d.cellXm == 0x0"}},
+		Steps: []*ir.Step{
+			{Kind: ir.SCompose, Reg: reg, Expr: &ir.Expr{Terms: []ir.Term{{Text: "(raw & 0x1)", Mask: 0x1}}}},
+			{Kind: ir.SMask, Reg: reg, And: 0x5, Full: 0xff},
+			{Kind: ir.SCtxCall, Reg: reg, Text: "d.SetIA(uint8(0x9))"},
+			{Kind: ir.SWrite, Reg: reg, Text: "d.bus.Out8(d.portBase+1, uint8(out))"},
+			{Kind: ir.SShadow, Reg: reg, Text: "d.shadowI9 = out"},
+			{Kind: ir.SOkFlag, Reg: reg, Text: "d.okI9 = true"},
+		},
+	}
+}
+
+func TestElideRMWGolden(t *testing.T) {
+	// Composition and mask stay outside the guard (the guard compares the
+	// composed out value); everything effectful moves inside.
+	golden(t, "elide-rmw", ir.ElideRMW(elidablePlan(false)), `
+plan SetPen:
+  compose I9 = (raw & 0x1)
+  mask &0x5 |0x0
+  guard unless d.okI9 && d.shadowI9 == out && d.cellXm == 0x0:
+    ctx d.SetIA(uint8(0x9)) -> I9
+    write I9
+    shadow I9
+    ok I9
+`)
+	// A context-selector plan is BatchIndex's job, not ElideRMW's.
+	p := elidablePlan(true)
+	if got := ir.ElideRMW(p).String(); strings.Contains(got, "guard") {
+		t.Errorf("ElideRMW guarded a ctx-class plan:\n%s", got)
+	}
+	golden(t, "batch-index", ir.BatchIndex(p), `
+plan SetPen:
+  compose I9 = (raw & 0x1)
+  mask &0x5 |0x0
+  guard unless d.okI9 && d.shadowI9 == out && d.cellXm == 0x0:
+    ctx d.SetIA(uint8(0x9)) -> I9
+    write I9
+    shadow I9
+    ok I9
+`)
+	// A plan without elision facts is left alone by both passes.
+	bare := &ir.Plan{Method: "SetZ", Steps: []*ir.Step{
+		{Kind: ir.SWrite, Reg: &sema.Register{Name: "R"}, Text: "d.bus.Out8(d.portBase+0, uint8(out))"},
+	}}
+	if got := ir.Optimize(bare, ir.O1.Passes()).String(); strings.Contains(got, "guard") {
+		t.Errorf("pass set guarded an ineligible plan:\n%s", got)
+	}
+}
+
+func TestExprRender(t *testing.T) {
+	e := &ir.Expr{}
+	if got := e.Render(); got != "0" {
+		t.Errorf("empty Render() = %q", got)
+	}
+	e = &ir.Expr{Terms: []ir.Term{{Text: "a", Mask: 1}, {Const: 0x20, Mask: 0x20}}}
+	if got := e.Render(); got != "a | 0x20" {
+		t.Errorf("Render() = %q", got)
+	}
+	if _, isConst := e.IsConst(); isConst {
+		t.Error("IsConst true with a text term")
+	}
+	c := &ir.Expr{Terms: []ir.Term{{Const: 0x20, Mask: 0x20}, {Const: 0x1, Mask: 0x1}}}
+	if v, isConst := c.IsConst(); !isConst || v != 0x21 {
+		t.Errorf("IsConst = %#x, %v", v, isConst)
+	}
+}

@@ -1,0 +1,121 @@
+package ir
+
+// Optimize applies the enabled passes to the plan, in the fixed order
+// coalesce → constfold → elide-rmw → batch-index, and returns the
+// transformed plan. Plans are transformed in place and returned for
+// chaining.
+func Optimize(p *Plan, passes Passes) *Plan {
+	if passes.Coalesce {
+		p = Coalesce(p)
+	}
+	if passes.ConstFold {
+		p = ConstFold(p)
+	}
+	if passes.ElideRMW {
+		p = ElideRMW(p)
+	}
+	if passes.BatchIndex {
+		p = BatchIndex(p)
+	}
+	return p
+}
+
+// Coalesce merges adjacent writes of the same register into one Out: a
+// context-selector call identical to the previous one, with no port
+// operation or state change in between, selects a window that is already
+// selected and is dropped. (The run-time guards of ElideRMW/BatchIndex
+// subsume this dynamically; Coalesce removes the statically provable
+// duplicates even at levels where the run-time guards are off.)
+func Coalesce(p *Plan) *Plan {
+	var out []*Step
+	var lastCtx *Step
+	for _, s := range p.Steps {
+		switch s.Kind {
+		case SCtxCall:
+			if lastCtx != nil && lastCtx.Text == s.Text && lastCtx.Reg == s.Reg {
+				continue // the window is already selected
+			}
+			lastCtx = s
+		case SCompose, SMask:
+			// Pure out-variable arithmetic; the selected window is
+			// untouched.
+		default:
+			// Port operations, actions and cache updates may change or
+			// depend on the selected window: forget it.
+			lastCtx = nil
+		}
+		out = append(out, s)
+	}
+	p.Steps = out
+	return p
+}
+
+// ConstFold folds constants: composition terms that cannot contribute
+// bits are dropped, constant terms are merged, and forced-bit mask
+// adjustments that cannot change the composed value (And covers the whole
+// register, Or forces nothing) are removed.
+func ConstFold(p *Plan) *Plan {
+	var out []*Step
+	for _, s := range p.Steps {
+		switch s.Kind {
+		case SCompose:
+			s.Expr.fold()
+		case SMask:
+			if s.And&s.Full == s.Full && s.Or == 0 {
+				continue // a no-op adjustment
+			}
+		}
+		out = append(out, s)
+	}
+	p.Steps = out
+	return p
+}
+
+// ElideRMW guards the write plans of data-class elidable variables: when
+// the register shadow is authoritative and already holds the composed
+// value (and every constant cell assignment of the write already holds),
+// the whole interaction — context selection, port write, cache updates —
+// is skipped at run time.
+func ElideRMW(p *Plan) *Plan {
+	if p.Elide == nil || p.Ctx {
+		return p
+	}
+	return guardPlan(p)
+}
+
+// BatchIndex guards the write plans of context-selector variables (the
+// cs4236 index register, the ne2000 page bits): consecutive accesses
+// through the same window share one selection write, because the
+// selector's own setter skips the port write when the selector already
+// holds the value. Every access path benefits — the pre actions of data
+// registers keep calling the selector's setter and hit the guard there.
+func BatchIndex(p *Plan) *Plan {
+	if p.Elide == nil || !p.Ctx {
+		return p
+	}
+	return guardPlan(p)
+}
+
+// guardPlan wraps everything from the first effectful step (context call
+// or port operation) onward in the plan's elision guard. Composition and
+// mask steps stay outside: the guard condition compares the composed out
+// value against the shadow.
+func guardPlan(p *Plan) *Plan {
+	split := len(p.Steps)
+	for i, s := range p.Steps {
+		if s.Kind != SCompose && s.Kind != SMask {
+			split = i
+			break
+		}
+	}
+	if split == len(p.Steps) {
+		return p
+	}
+	guard := &Step{
+		Kind: SGuard,
+		Cond: p.Elide.Cond(),
+		Body: p.Steps[split:],
+	}
+	p.Steps = append(p.Steps[:split:split], guard)
+	return p
+}

@@ -1,0 +1,215 @@
+package ir
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/devil/sema"
+)
+
+// Expr is a register composition: the bitwise OR of terms, each of which
+// can only set bits inside its mask. The generator renders non-constant
+// contributions (scatter expressions, shadow keeps) as Go text; constant
+// contributions (trigger neutrals) stay symbolic so passes can fold them.
+type Expr struct {
+	Terms []Term
+}
+
+// Term is one composition contribution.
+type Term struct {
+	// Text is the rendered Go expression of a non-constant term; empty
+	// for constant terms.
+	Text string
+	// Const is the value of a constant term (Text == "").
+	Const uint64
+	// Mask is the set of register bits the term can contribute.
+	Mask uint64
+}
+
+// Render emits the composition as a Go expression.
+func (e *Expr) Render() string {
+	var parts []string
+	for _, t := range e.Terms {
+		if t.Text != "" {
+			parts = append(parts, t.Text)
+		} else {
+			parts = append(parts, fmt.Sprintf("%#x", t.Const))
+		}
+	}
+	if len(parts) == 0 {
+		return "0"
+	}
+	return strings.Join(parts, " | ")
+}
+
+// IsConst reports whether the whole composition is a compile-time
+// constant, and returns its value.
+func (e *Expr) IsConst() (uint64, bool) {
+	var v uint64
+	for _, t := range e.Terms {
+		if t.Text != "" {
+			return 0, false
+		}
+		v |= t.Const
+	}
+	return v, true
+}
+
+// fold drops terms that cannot contribute bits and merges constant terms.
+func (e *Expr) fold() {
+	var kept []Term
+	var c uint64
+	hasConst := false
+	for _, t := range e.Terms {
+		if t.Mask == 0 {
+			continue
+		}
+		if t.Text == "" {
+			if t.Const&t.Mask == 0 {
+				continue
+			}
+			c |= t.Const & t.Mask
+			hasConst = true
+			continue
+		}
+		kept = append(kept, t)
+	}
+	if hasConst && c != 0 {
+		kept = append(kept, Term{Const: c, Mask: c})
+	}
+	e.Terms = kept
+}
+
+// StepKind discriminates plan steps.
+type StepKind int
+
+const (
+	// SCompose assigns the register composition to the plan's out
+	// variable: "out := <expr>" (or "out = ..." on later steps).
+	SCompose StepKind = iota
+	// SMask applies the register's forced mask bits: "out = out&A | O".
+	SMask
+	// SCtxCall establishes a register's access context by calling another
+	// variable's setter (a compiled pre action): "d.SetIA(uint8(0x9))".
+	SCtxCall
+	// SAction is any other compiled action statement (cell assignments,
+	// struct flush calls); opaque to the passes.
+	SAction
+	// SWrite is the port write of a register.
+	SWrite
+	// SRead is a port read (present in synthetic plans; generated read
+	// paths do not flow through the planner).
+	SRead
+	// SShadow stores out into the register's shadow field.
+	SShadow
+	// SOkFlag marks the register's shadow as authoritative for elision.
+	SOkFlag
+	// SCellSet assigns a constant to a private memory cell (a compiled
+	// constant set action); participates in elision guards.
+	SCellSet
+	// SGuard wraps its body in a run-time elision guard:
+	// "if !(<cond>) { <body> }".
+	SGuard
+)
+
+// Step is one element of an access plan. Text carries the rendered Go of
+// the step's payload where emission needs it verbatim (calls, port
+// operations, cache stores); the structural fields carry what the passes
+// reason about.
+type Step struct {
+	Kind StepKind
+	// Reg is the register the step touches (composition target, port
+	// operation, shadow store, or the context register selected by a
+	// context call).
+	Reg *sema.Register
+	// Expr is the composition of an SCompose step.
+	Expr *Expr
+	// And, Or, Full describe an SMask step: out = out&And | Or over a
+	// register whose full bit mask is Full.
+	And, Or, Full uint64
+	// Text is the rendered payload statement (may span lines for
+	// SAction).
+	Text string
+	// Cell and Val identify an SCellSet assignment for guard analysis.
+	Cell *sema.Variable
+	Val  uint64
+	// Cond and Body belong to an SGuard step.
+	Cond string
+	Body []*Step
+}
+
+// Guard carries the rendered spelling of a plan's elision guard: the
+// names the generator chose for the ok flag and shadow field of the
+// register, plus any memory-cell equality conditions implied by the
+// register's constant set actions.
+type Guard struct {
+	Ok     string   // e.g. "d.okI9"
+	Shadow string   // e.g. "d.shadowI9"
+	Cells  []string // e.g. "d.cellXm == 0x0"
+}
+
+// Cond renders the complete elision condition: the write is skippable
+// when the shadow is authoritative, already holds the composed value, and
+// every constant cell assignment the write would perform already holds.
+func (g *Guard) Cond() string {
+	parts := []string{g.Ok, g.Shadow + " == out"}
+	parts = append(parts, g.Cells...)
+	return strings.Join(parts, " && ")
+}
+
+// Plan is the port-access plan of one generated write method.
+type Plan struct {
+	// Method names the generated method, for diagnostics and golden
+	// listings.
+	Method string
+	// Elide is non-nil when the planned variable passed the eligibility
+	// analysis; Ctx distinguishes the context-selector class (guarded by
+	// BatchIndex) from the data class (guarded by ElideRMW).
+	Elide *Guard
+	Ctx   bool
+	Steps []*Step
+}
+
+// String renders the plan as a stable textual listing, the format the
+// golden pass tests compare.
+func (p *Plan) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "plan %s:\n", p.Method)
+	writeSteps(&b, p.Steps, "  ")
+	return b.String()
+}
+
+func writeSteps(b *strings.Builder, steps []*Step, indent string) {
+	for _, s := range steps {
+		switch s.Kind {
+		case SCompose:
+			fmt.Fprintf(b, "%scompose %s = %s\n", indent, regName(s.Reg), s.Expr.Render())
+		case SMask:
+			fmt.Fprintf(b, "%smask &%#x |%#x\n", indent, s.And, s.Or)
+		case SCtxCall:
+			fmt.Fprintf(b, "%sctx %s -> %s\n", indent, s.Text, regName(s.Reg))
+		case SAction:
+			fmt.Fprintf(b, "%saction %s\n", indent, strings.ReplaceAll(s.Text, "\n", "; "))
+		case SWrite:
+			fmt.Fprintf(b, "%swrite %s\n", indent, regName(s.Reg))
+		case SRead:
+			fmt.Fprintf(b, "%sread %s\n", indent, regName(s.Reg))
+		case SShadow:
+			fmt.Fprintf(b, "%sshadow %s\n", indent, regName(s.Reg))
+		case SOkFlag:
+			fmt.Fprintf(b, "%sok %s\n", indent, regName(s.Reg))
+		case SCellSet:
+			fmt.Fprintf(b, "%scell %s\n", indent, s.Text)
+		case SGuard:
+			fmt.Fprintf(b, "%sguard unless %s:\n", indent, s.Cond)
+			writeSteps(b, s.Body, indent+"  ")
+		}
+	}
+}
+
+func regName(r *sema.Register) string {
+	if r == nil {
+		return "?"
+	}
+	return r.Name
+}

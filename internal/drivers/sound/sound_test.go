@@ -83,9 +83,12 @@ func TestPlaybackDataIntegrity(t *testing.T) {
 }
 
 // TestInterruptPathOpsParity is the pipeline's Table 5 claim: on the
-// interrupt/refill path the Devil driver costs exactly as many I/O
-// operations as the hand-crafted one. Measured as the per-revolution delta
-// between a 2-revolution and a 6-revolution clip, so setup costs cancel.
+// interrupt/refill path the Devil driver costs no more I/O operations than
+// the hand-crafted one — and with the -O1 batch-index pass it costs fewer,
+// because the codec's index register is rewritten only when the window
+// actually changes (4 ops/revolution vs the hand driver's 6). Measured as
+// the per-revolution delta between a 2-revolution and a 6-revolution clip,
+// so setup costs cancel.
 func TestInterruptPathOpsParity(t *testing.T) {
 	cfg := Config{Rate: 22050, RingBytes: 512}
 	perRev := map[string]uint64{}
@@ -116,14 +119,20 @@ func TestInterruptPathOpsParity(t *testing.T) {
 		perRev[name] = (o6 - o2) / 4
 		total[name] = o6
 	}
-	if perRev["devil"] != perRev["standard"] {
-		t.Errorf("interrupt/refill path: devil %d ops/revolution, standard %d — must match",
+	if perRev["devil"] > perRev["standard"] {
+		t.Errorf("interrupt/refill path: devil %d ops/revolution, standard %d — devil must not cost more",
 			perRev["devil"], perRev["standard"])
 	}
-	// The arming path differs by exactly the flip-flop re-clear the
-	// generated serialization refuses to skip.
-	if total["devil"] != total["standard"]+1 {
-		t.Errorf("total ops: devil %d, standard %d, want devil = standard + 1 (extra clear-FF)",
+	// Pin the exact optimizer win so a codegen regression is caught: the
+	// hand driver spends 6 ops per revolution (index write + flag read,
+	// index write + ack write, EOI, counter re-read), the generated stubs
+	// elide both index rewrites once IA already holds 24.
+	if perRev["devil"] != 4 || perRev["standard"] != 6 {
+		t.Errorf("interrupt/refill path: devil %d / standard %d ops/revolution, want 4 / 6",
+			perRev["devil"], perRev["standard"])
+	}
+	if total["devil"] >= total["standard"] {
+		t.Errorf("total ops: devil %d, standard %d, want devil < standard",
 			total["devil"], total["standard"])
 	}
 }

@@ -111,10 +111,10 @@ func TestTableRendering(t *testing.T) {
 }
 
 // TestTable5Shape verifies the sound-pipeline claims: the transfer is
-// DAC-bound so both drivers deliver parity throughput, the Devil driver's
-// only extra I/O operation is the arming-path flip-flop clear (the
-// interrupt/refill path costs are identical), and larger rings mean fewer
-// interrupts hence fewer operations.
+// DAC-bound so both drivers deliver parity throughput, the Devil driver
+// now costs fewer I/O operations than the hand-crafted one (the -O1
+// batch-index pass elides the codec index rewrites on the ISR path), and
+// larger rings mean fewer interrupts hence fewer operations.
 func TestTable5Shape(t *testing.T) {
 	rows, err := Table5Rows(4)
 	if err != nil {
@@ -127,10 +127,11 @@ func TestTable5Shape(t *testing.T) {
 		if r.Ratio < 0.995 || r.Ratio > 1.005 {
 			t.Errorf("%s: ratio = %.4f, want ~1.0 (DAC-bound)", r.Config, r.Ratio)
 		}
-		// Same revolutions, same ISR protocol: the whole-run ops differ by
-		// exactly the one arming operation.
-		if r.DevilOps != r.StdOps+1 {
-			t.Errorf("%s: ops devil %d vs std %d, want devil = std+1 (arming flip-flop clear)",
+		// Same revolutions, same ISR protocol: the optimized stubs skip
+		// two index-register writes per revolution, so the generated
+		// driver undercuts the hand one across the whole run.
+		if r.DevilOps >= r.StdOps {
+			t.Errorf("%s: ops devil %d vs std %d, want devil < std (elided index writes)",
 				r.Config, r.DevilOps, r.StdOps)
 		}
 	}

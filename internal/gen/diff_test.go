@@ -2,11 +2,13 @@ package gen_test
 
 import (
 	"math/rand"
+	"os"
 	"testing"
 
 	"repro/internal/bus"
 	"repro/internal/core"
 	"repro/internal/devil/exec"
+	"repro/internal/devil/ir"
 	genbm "repro/internal/gen/busmouse"
 	gencs "repro/internal/gen/cs4236"
 	gendma "repro/internal/gen/dma8237"
@@ -32,6 +34,18 @@ import (
 // returned the same values from every read, and left the device in a
 // bit-identical state. The two implementations share one specification;
 // this is the executable statement that they share one semantics.
+
+// execOpts returns the interpreter options matching the optimization level
+// the checked-in stubs were generated at. The default is -O1 (the level
+// devilc -update uses); the CI -O0 leg regenerates the stubs with
+// "devilc -update -O 0" and runs these tests with DEVIL_STUBS_OPT=0 so
+// both back ends are compared with the optimizer off too.
+func execOpts() exec.Options {
+	if os.Getenv("DEVIL_STUBS_OPT") == "0" {
+		return exec.Options{Opt: ir.O0}
+	}
+	return exec.Options{}
+}
 
 // rig is one device-under-test instance: a bus with traced windows over a
 // simulator, plus the values every read returned.
@@ -91,7 +105,7 @@ func TestDifferentialBusmouse(t *testing.T) {
 		genRig, genMouse := newBusmouseRig()
 		execRig, execMouse := newBusmouseRig()
 		genDev := genbm.New(genRig.space, 0x23c)
-		execDev, err := core.Link(spec, execRig.space, map[string]uint32{"base": 0x23c}, exec.Options{})
+		execDev, err := core.Link(spec, execRig.space, map[string]uint32{"base": 0x23c}, execOpts())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -170,7 +184,7 @@ func TestDifferentialIDE(t *testing.T) {
 		genDev := genide.New(genRig.space, 0x1f0, 0x1f0, 0x1f0, 0x3f6)
 		execDev, err := core.Link(spec, execRig.space, map[string]uint32{
 			"data": 0x1f0, "data32": 0x1f0, "base": 0x1f0, "ctl": 0x3f6,
-		}, exec.Options{})
+		}, execOpts())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -310,7 +324,7 @@ func TestDifferentialPIIX4(t *testing.T) {
 		genDev := genpiix4.New(genRig.space, 0xc000, 0xc004)
 		execDev, err := core.Link(spec, execRig.space, map[string]uint32{
 			"bm": 0xc000, "prd": 0xc004,
-		}, exec.Options{})
+		}, execOpts())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -383,7 +397,7 @@ func TestDifferentialNE2000(t *testing.T) {
 		genDev := genne.New(genRig.space, 0x300, 0x310, 0x31f)
 		execDev, err := core.Link(spec, execRig.space, map[string]uint32{
 			"base": 0x300, "dma": 0x310, "rst": 0x31f,
-		}, exec.Options{})
+		}, execOpts())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -524,7 +538,7 @@ func TestDifferentialPermedia2(t *testing.T) {
 		genRig, genChip := newPermedia2Rig()
 		execRig, execChip := newPermedia2Rig()
 		genDev := genpm.New(genRig.space, 0xf0000000)
-		execDev, err := core.Link(spec, execRig.space, map[string]uint32{"reg": 0xf0000000}, exec.Options{})
+		execDev, err := core.Link(spec, execRig.space, map[string]uint32{"reg": 0xf0000000}, execOpts())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -617,7 +631,7 @@ func TestDifferentialPIC8259(t *testing.T) {
 		genRig, genPIC := newPICRig()
 		execRig, execPIC := newPICRig()
 		genDev := genpic.New(genRig.space, 0x20)
-		execDev, err := core.Link(spec, execRig.space, map[string]uint32{"base": 0x20}, exec.Options{})
+		execDev, err := core.Link(spec, execRig.space, map[string]uint32{"base": 0x20}, execOpts())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -728,7 +742,7 @@ func TestDifferentialDMA8237(t *testing.T) {
 		genRig, genDMA := newDMARig()
 		execRig, execDMA := newDMARig()
 		genDev := gendma.New(genRig.space, 0x00)
-		execDev, err := core.Link(spec, execRig.space, map[string]uint32{"io": 0x00}, exec.Options{})
+		execDev, err := core.Link(spec, execRig.space, map[string]uint32{"io": 0x00}, execOpts())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -828,7 +842,7 @@ func TestDifferentialCS4236(t *testing.T) {
 		genRig, genCS := newCSRig()
 		execRig, execCS := newCSRig()
 		genDev := gencs.New(genRig.space, 0x530)
-		execDev, err := core.Link(spec, execRig.space, map[string]uint32{"base": 0x530}, exec.Options{})
+		execDev, err := core.Link(spec, execRig.space, map[string]uint32{"base": 0x530}, execOpts())
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/devil/codegen"
+	"repro/internal/devil/ir"
 )
 
 // UpdateResult reports what Update did for one library stub.
@@ -16,19 +17,31 @@ type UpdateResult struct {
 }
 
 // Update regenerates the checked-in stub files of lib under the repository
-// root: every specification is compiled, the stubs are generated, and the
-// target file is rewritten when its content differs. Missing target
-// directories are created, so adding a device to the library is a one-line
-// manifest change. A specification that fails to compile or generate aborts
-// the update with an error naming the stub path.
+// root at the default optimization level: every specification is compiled,
+// the stubs are generated, and the target file is rewritten when its
+// content differs. Missing target directories are created, so adding a
+// device to the library is a one-line manifest change. A specification that
+// fails to compile or generate aborts the update with an error naming the
+// stub path.
 func Update(root string, lib []Stub) ([]UpdateResult, error) {
+	return UpdateLevel(root, lib, ir.O1)
+}
+
+// UpdateLevel is Update with an explicit optimization level overriding each
+// stub's manifest options (devilc -update -O 0). Generation verifies the
+// emitted source — go/parser and gofmt — before anything is written, and a
+// verification failure names the optimization pass that produced the
+// invalid plan.
+func UpdateLevel(root string, lib []Stub, level ir.OptLevel) ([]UpdateResult, error) {
 	var results []UpdateResult
 	for _, s := range lib {
 		spec, err := core.Compile(s.Spec)
 		if err != nil {
 			return results, fmt.Errorf("%s: specification does not compile: %w", s.Path, err)
 		}
-		code, err := codegen.Generate(spec, s.Opts)
+		opts := s.Opts
+		opts.Opt = level
+		code, err := codegen.Generate(spec, opts)
 		if err != nil {
 			return results, fmt.Errorf("%s: %w", s.Path, err)
 		}
