@@ -13,6 +13,7 @@ import (
 	gendma "repro/internal/gen/dma8237"
 	genpic "repro/internal/gen/pic8259"
 	"repro/internal/mutation"
+	"repro/internal/obs"
 	simbm "repro/internal/sim/busmouse"
 	simcs "repro/internal/sim/cs4236"
 	simdma "repro/internal/sim/dma8237"
@@ -337,5 +338,61 @@ func BenchmarkPermedia2Fill(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		drv.FillRect(0, 0, 10, 10, uint32(i))
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Observation pipeline overhead. BenchmarkBusObserverNil is the
+// zero-cost-when-disabled claim: the same port loop as
+// BenchmarkBusPortAccess with the observer plumbing compiled in but
+// detached — its wall-clock MB/s joins the CI bench gate, so a change
+// that makes the disabled pipeline expensive fails the trajectory. The
+// ring and metrics variants price the enabled paths, and the span
+// benchmark prices the attribution a generated stub adds per call.
+
+func busObserverBench(b *testing.B, attach func(*bus.Space)) {
+	b.Helper()
+	var clk bus.Clock
+	space := bus.NewSpace("io", &clk, bus.DefaultPortCosts())
+	space.MustMapNamed("ram", 0, 16, bus.NewRAM(16))
+	if attach != nil {
+		attach(space)
+		defer space.SetObserver(nil)
+	}
+	b.SetBytes(2) // one 8-bit write + one 8-bit read per iteration
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		space.Out8(0, uint8(i))
+		_ = space.In8(0)
+	}
+}
+
+func BenchmarkBusObserverNil(b *testing.B) { busObserverBench(b, nil) }
+
+func BenchmarkBusObserverRing(b *testing.B) {
+	ring := obs.NewRing(4096)
+	busObserverBench(b, func(s *bus.Space) { s.SetObserver(ring) })
+}
+
+func BenchmarkBusObserverMetrics(b *testing.B) {
+	m := obs.NewMetrics()
+	busObserverBench(b, func(s *bus.Space) { s.SetObserver(m) })
+}
+
+func BenchmarkObsSpanDisabled(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if obs.Enabled() {
+			b.Fatal("tracking unexpectedly on")
+		}
+		obs.Span("cs4236.pfmt.set")()
+	}
+}
+
+func BenchmarkObsSpanEnabled(b *testing.B) {
+	obs.Enable()
+	defer obs.Disable()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		obs.Span("cs4236.pfmt.set")()
 	}
 }

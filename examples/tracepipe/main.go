@@ -1,0 +1,69 @@
+// Tracepipe: record one Table 5 sound-refill cycle with the full
+// observation pipeline attached and show what the attribution buys.
+//
+// The sound-DMA pipeline (CS4236B codec + 8237A DMA + 8259A PIC) plays a
+// clip spanning four ring revolutions under the Devil driver. Every port
+// operation in the resulting stream names the chip it hit, the .dil
+// variable the generated stub was accessing, and the driver phase that
+// caused it — the refill interrupt reads as protocol, not port soup. The
+// full trace is exported as Chrome trace-event JSON, loadable at
+// ui.perfetto.dev, with the virtual clock as the timeline and one track
+// per chip.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/experiments"
+	"repro/internal/obs"
+)
+
+func main() {
+	cfg := experiments.DefaultCaptureConfig()
+	const revs = 4
+	events, err := experiments.CaptureSound("devil", cfg, revs)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The refill interrupt, attributed: every event between the DMA
+	// terminal count and the end-of-interrupt command of the first
+	// revolution's service routine.
+	fmt.Printf("one refill cycle (%s, revolution 1 of %d):\n", cfg, revs)
+	printing := false
+	for _, e := range events {
+		if e.Kind == obs.KindDMATC && !printing {
+			printing = true
+		}
+		if !printing || e.Kind == obs.KindClockAdvance {
+			continue
+		}
+		fmt.Printf("    %8dns  %-9s %-24s %s\n", e.TS, e.Source, e, e.Span)
+		if e.Source == "pic8259" && e.Kind == obs.KindPortWrite {
+			break // the EOI command closes the cycle
+		}
+	}
+
+	// The phase profile: where the I/O operations and virtual time went.
+	fmt.Printf("\nper-phase profile:\n")
+	byPhase := obs.SummarizeBy(events, func(e obs.Event) string { return obs.PhaseOf(e.Span) })
+	for _, s := range byPhase {
+		name := s.Span
+		if name == "" {
+			name = "(unattributed)"
+		}
+		fmt.Printf("    %-12s %3d ops  %5d events  %9dns\n", name, s.Ops, s.Events, s.VirtNS)
+	}
+
+	f, err := os.Create("trace.json")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	if err := obs.WriteChromeTrace(f, events); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nwrote %d events to trace.json (load at ui.perfetto.dev)\n", len(events))
+}

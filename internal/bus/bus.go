@@ -16,11 +16,19 @@
 //
 // The virtual clock is shared with the device simulators, which advance it
 // for non-bus work (seeks, DMA engines, drawing commands).
+//
+// A third book is optional: attach an obs.Observer with SetObserver and
+// every access, fault, and clock advance is also emitted as a typed,
+// virtually timestamped obs.Event carrying the goroutine-local span
+// attribution (see internal/obs). With no observer attached the only cost
+// is a nil check per operation.
 package bus
 
 import (
 	"fmt"
 	"sync"
+
+	"repro/internal/obs"
 )
 
 // Bus is the access interface drivers and generated stubs program against.
@@ -52,14 +60,44 @@ type Handler interface {
 // from a single goroutine per experiment; cross-goroutine use needs the
 // caller's synchronization.
 type Clock struct {
-	ns uint64
+	ns  uint64
+	src string
+	obs obs.Observer
 }
 
 // Now returns the current virtual time in nanoseconds.
 func (c *Clock) Now() uint64 { return c.ns }
 
-// Advance moves virtual time forward by d nanoseconds.
-func (c *Clock) Advance(d uint64) { c.ns += d }
+// Advance moves virtual time forward by d nanoseconds. With an observer
+// attached the advance is emitted as a KindClockAdvance event — this is
+// how simulator-side work (seeks, DMA engine time, IRQ latency) shows up
+// on the trace timeline. Space access charges advance the clock silently:
+// their cost is already carried by the access event itself.
+func (c *Clock) Advance(d uint64) {
+	c.ns += d
+	if c.obs != nil {
+		c.obs.Observe(obs.Event{
+			TS: c.ns, Kind: obs.KindClockAdvance, Source: c.src,
+			Span: obs.Current(), Cost: d,
+		})
+	}
+}
+
+// advance moves time forward without emitting an event (Space charging).
+func (c *Clock) advance(d uint64) { c.ns += d }
+
+// SetObserver attaches o to the clock; source names the emitting track.
+// Pass nil to detach. Like Space.SetObserver, attaching enables span
+// tracking and detaching disables it.
+func (c *Clock) SetObserver(source string, o obs.Observer) {
+	prev := c.obs
+	c.src, c.obs = source, o
+	if prev == nil && o != nil {
+		obs.Enable()
+	} else if prev != nil && o == nil {
+		obs.Disable()
+	}
+}
 
 // Costs parameterizes the virtual time charged per access.
 //
@@ -100,6 +138,7 @@ type Space struct {
 	costs Costs
 	maps  []mapping
 	stats Stats
+	obs   obs.Observer
 
 	// StrictFaults makes accesses outside mapped ranges panic instead of
 	// reading as all-ones. Tests enable it to catch address bugs.
@@ -108,7 +147,17 @@ type Space struct {
 
 type mapping struct {
 	base, size uint32
+	name       string
 	h          Handler
+}
+
+// source is the event attribution of traffic to this mapping: the mapped
+// region's name when it has one, else the space name.
+func (m mapping) source(space string) string {
+	if m.name != "" {
+		return m.name
+	}
+	return space
 }
 
 // NewSpace creates an address space using the given virtual clock and cost
@@ -120,9 +169,32 @@ func NewSpace(name string, clock *Clock, costs Costs) *Space {
 // Clock returns the space's virtual clock.
 func (s *Space) Clock() *Clock { return s.clock }
 
+// SetObserver attaches o to the space: every access, block transfer and
+// fault is emitted as an obs.Event stamped with virtual time and the
+// current span attribution. Pass nil to detach. Attaching the first
+// observer enables goroutine-local span tracking; detaching disables it.
+func (s *Space) SetObserver(o obs.Observer) {
+	s.mu.Lock()
+	prev := s.obs
+	s.obs = o
+	s.mu.Unlock()
+	if prev == nil && o != nil {
+		obs.Enable()
+	} else if prev != nil && o == nil {
+		obs.Disable()
+	}
+}
+
 // Map claims [base, base+size) for the handler. Overlapping claims are
 // rejected so simulator wiring bugs surface immediately.
 func (s *Space) Map(base, size uint32, h Handler) error {
+	return s.MapNamed("", base, size, h)
+}
+
+// MapNamed is Map with an attribution name: events for traffic in this
+// range carry Source=name (one trace track per chip). The empty name
+// falls back to the space name.
+func (s *Space) MapNamed(name string, base, size uint32, h Handler) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	for _, m := range s.maps {
@@ -131,13 +203,20 @@ func (s *Space) Map(base, size uint32, h Handler) error {
 				s.name, base, base+size, m.base, m.base+m.size)
 		}
 	}
-	s.maps = append(s.maps, mapping{base: base, size: size, h: h})
+	s.maps = append(s.maps, mapping{base: base, size: size, name: name, h: h})
 	return nil
 }
 
 // MustMap is Map that panics on error, for fixed wiring in mains and tests.
 func (s *Space) MustMap(base, size uint32, h Handler) {
 	if err := s.Map(base, size, h); err != nil {
+		panic(err)
+	}
+}
+
+// MustMapNamed is MapNamed that panics on error.
+func (s *Space) MustMapNamed(name string, base, size uint32, h Handler) {
+	if err := s.MapNamed(name, base, size, h); err != nil {
 		panic(err)
 	}
 }
@@ -156,43 +235,58 @@ func (s *Space) ResetStats() {
 	s.stats = Stats{}
 }
 
-// lookup resolves a port to its handler. Mappings are append-only and
+// lookup resolves a port to its mapping. Mappings are append-only and
 // wiring happens before traffic, so the read is done under the lock but the
 // handler is invoked outside it — device handlers may re-enter the space
 // (interrupt handlers performing I/O) without deadlocking.
-func (s *Space) lookup(port uint32) (Handler, uint32, bool) {
+func (s *Space) lookup(port uint32) (mapping, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	for _, m := range s.maps {
 		if port >= m.base && port < m.base+m.size {
-			return m.h, port - m.base, true
+			return m, true
 		}
 	}
-	return nil, 0, false
+	return mapping{}, false
 }
 
-func (s *Space) fault(port uint32, dir string) {
+// fault books an unmapped access: counted, emitted, and — under
+// StrictFaults — escalated to a panic.
+func (s *Space) fault(port uint32, width int, dir string) {
 	s.mu.Lock()
 	s.stats.Faults++
 	strict := s.StrictFaults
+	o := s.obs
 	s.mu.Unlock()
+	if o != nil {
+		o.Observe(obs.Event{
+			TS: s.clock.Now(), Kind: obs.KindFault, Source: s.name,
+			Span: obs.Current(), Addr: port, Width: width, Detail: dir,
+		})
+	}
 	if strict {
 		panic(fmt.Sprintf("bus %s: %s of unmapped port %#x", s.name, dir, port))
 	}
 }
 
-func (s *Space) chargeSingle(in bool) {
+// chargeSingle books one single-unit operation and returns what the
+// emission path needs: the observer (nil when disabled), the virtual
+// completion time, and the charged cost.
+func (s *Space) chargeSingle(in bool) (o obs.Observer, ts, cost uint64) {
 	s.mu.Lock()
 	if in {
 		s.stats.In++
 	} else {
 		s.stats.Out++
 	}
-	s.clock.Advance(s.costs.AccessNS + s.costs.OverheadNS)
+	cost = s.costs.AccessNS + s.costs.OverheadNS
+	s.clock.advance(cost)
+	o, ts = s.obs, s.clock.Now()
 	s.mu.Unlock()
+	return o, ts, cost
 }
 
-func (s *Space) chargeBlock(in bool, units int) {
+func (s *Space) chargeBlock(in bool, units int) (o obs.Observer, ts, cost uint64) {
 	s.mu.Lock()
 	if in {
 		s.stats.BlockIn++
@@ -200,28 +294,46 @@ func (s *Space) chargeBlock(in bool, units int) {
 		s.stats.BlockOut++
 	}
 	s.stats.BlockUnits += uint64(units)
-	s.clock.Advance(s.costs.OverheadNS + uint64(units)*s.costs.AccessNS)
+	cost = s.costs.OverheadNS + uint64(units)*s.costs.AccessNS
+	s.clock.advance(cost)
+	o, ts = s.obs, s.clock.Now()
 	s.mu.Unlock()
+	return o, ts, cost
 }
 
 func (s *Space) read(port uint32, width int) uint32 {
-	s.chargeSingle(true)
-	h, off, ok := s.lookup(port)
+	o, ts, cost := s.chargeSingle(true)
+	m, ok := s.lookup(port)
 	if !ok {
-		s.fault(port, "read")
+		s.fault(port, width, "read")
 		return ^uint32(0) >> uint(32-width)
 	}
-	return h.BusRead(off, width)
+	v := m.h.BusRead(port-m.base, width)
+	if o != nil {
+		o.Observe(obs.Event{
+			TS: ts, Kind: obs.KindPortRead, Source: m.source(s.name),
+			Span: obs.Current(), Addr: port, Width: width, Value: uint64(v), Cost: cost,
+		})
+	}
+	return v
 }
 
 func (s *Space) write(port uint32, width int, v uint32) {
-	s.chargeSingle(false)
-	h, off, ok := s.lookup(port)
+	o, ts, cost := s.chargeSingle(false)
+	m, ok := s.lookup(port)
 	if !ok {
-		s.fault(port, "write")
+		s.fault(port, width, "write")
 		return
 	}
-	h.BusWrite(off, width, v)
+	if o != nil {
+		// Emitted before the handler runs so an IRQ raised inside it
+		// appears after its cause in the stream.
+		o.Observe(obs.Event{
+			TS: ts, Kind: obs.KindPortWrite, Source: m.source(s.name),
+			Span: obs.Current(), Addr: port, Width: width, Value: uint64(v), Cost: cost,
+		})
+	}
+	m.h.BusWrite(port-m.base, width, v)
 }
 
 // In8 implements Bus.
@@ -242,55 +354,88 @@ func (s *Space) In32(port uint32) uint32 { return s.read(port, 32) }
 // Out32 implements Bus.
 func (s *Space) Out32(port uint32, v uint32) { s.write(port, 32, v) }
 
+// Block transfers resolve the mapping before charging: a faulting block
+// moves no data, so it must not consume BlockUnits or virtual time (only
+// the fault is booked). Single accesses keep charging on faults — the
+// instruction issued and the bus transaction timed out.
+
 // InBlock16 implements Bus.
 func (s *Space) InBlock16(port uint32, buf []uint16) {
-	s.chargeBlock(true, len(buf))
-	h, off, ok := s.lookup(port)
+	m, ok := s.lookup(port)
 	if !ok {
-		s.fault(port, "block read")
+		s.fault(port, 16, "block read")
 		return
 	}
+	o, ts, cost := s.chargeBlock(true, len(buf))
+	off := port - m.base
 	for i := range buf {
-		buf[i] = uint16(h.BusRead(off, 16))
+		buf[i] = uint16(m.h.BusRead(off, 16))
+	}
+	if o != nil {
+		o.Observe(obs.Event{
+			TS: ts, Kind: obs.KindBlockIn, Source: m.source(s.name),
+			Span: obs.Current(), Addr: port, Width: 16, Units: len(buf), Cost: cost,
+		})
 	}
 }
 
 // OutBlock16 implements Bus.
 func (s *Space) OutBlock16(port uint32, buf []uint16) {
-	s.chargeBlock(false, len(buf))
-	h, off, ok := s.lookup(port)
+	m, ok := s.lookup(port)
 	if !ok {
-		s.fault(port, "block write")
+		s.fault(port, 16, "block write")
 		return
 	}
+	o, ts, cost := s.chargeBlock(false, len(buf))
+	off := port - m.base
+	if o != nil {
+		o.Observe(obs.Event{
+			TS: ts, Kind: obs.KindBlockOut, Source: m.source(s.name),
+			Span: obs.Current(), Addr: port, Width: 16, Units: len(buf), Cost: cost,
+		})
+	}
 	for _, v := range buf {
-		h.BusWrite(off, 16, uint32(v))
+		m.h.BusWrite(off, 16, uint32(v))
 	}
 }
 
 // InBlock32 implements Bus.
 func (s *Space) InBlock32(port uint32, buf []uint32) {
-	s.chargeBlock(true, len(buf))
-	h, off, ok := s.lookup(port)
+	m, ok := s.lookup(port)
 	if !ok {
-		s.fault(port, "block read")
+		s.fault(port, 32, "block read")
 		return
 	}
+	o, ts, cost := s.chargeBlock(true, len(buf))
+	off := port - m.base
 	for i := range buf {
-		buf[i] = h.BusRead(off, 32)
+		buf[i] = m.h.BusRead(off, 32)
+	}
+	if o != nil {
+		o.Observe(obs.Event{
+			TS: ts, Kind: obs.KindBlockIn, Source: m.source(s.name),
+			Span: obs.Current(), Addr: port, Width: 32, Units: len(buf), Cost: cost,
+		})
 	}
 }
 
 // OutBlock32 implements Bus.
 func (s *Space) OutBlock32(port uint32, buf []uint32) {
-	s.chargeBlock(false, len(buf))
-	h, off, ok := s.lookup(port)
+	m, ok := s.lookup(port)
 	if !ok {
-		s.fault(port, "block write")
+		s.fault(port, 32, "block write")
 		return
 	}
+	o, ts, cost := s.chargeBlock(false, len(buf))
+	off := port - m.base
+	if o != nil {
+		o.Observe(obs.Event{
+			TS: ts, Kind: obs.KindBlockOut, Source: m.source(s.name),
+			Span: obs.Current(), Addr: port, Width: 32, Units: len(buf), Cost: cost,
+		})
+	}
 	for _, v := range buf {
-		h.BusWrite(off, 32, v)
+		m.h.BusWrite(off, 32, v)
 	}
 }
 
@@ -299,10 +444,34 @@ func (s *Space) OutBlock32(port uint32, buf []uint32) {
 // consumes pending interrupts from its main loop. Modeling the handler at
 // consume time (rather than running driver code inside the simulator call)
 // matches how a kernel defers work from the hard-IRQ context.
+//
+// The observation fields are optional wiring-time configuration: with Obs
+// set, Raise and Consume emit KindIRQRaise/KindIRQConsume events named
+// Name, timestamped from Clock when one is attached. Set them before
+// traffic starts; they are not synchronized by the line's mutex.
 type IRQLine struct {
 	mu      sync.Mutex
 	pending uint64
 	total   uint64
+
+	Name  string       // event Source ("" falls back to "irq")
+	Clock *Clock       // event timestamps; nil stamps zero
+	Obs   obs.Observer // event sink; nil disables emission
+}
+
+func (l *IRQLine) emit(kind obs.Kind) {
+	if l.Obs == nil {
+		return
+	}
+	var ts uint64
+	if l.Clock != nil {
+		ts = l.Clock.Now()
+	}
+	src := l.Name
+	if src == "" {
+		src = "irq"
+	}
+	l.Obs.Observe(obs.Event{TS: ts, Kind: kind, Source: src, Span: obs.Current(), Detail: src})
 }
 
 // Raise latches one interrupt.
@@ -311,6 +480,7 @@ func (l *IRQLine) Raise() {
 	l.pending++
 	l.total++
 	l.mu.Unlock()
+	l.emit(obs.KindIRQRaise)
 }
 
 // Pending reports whether at least one interrupt is latched and not yet
@@ -326,12 +496,15 @@ func (l *IRQLine) Pending() bool {
 // Consume takes one pending interrupt, reporting false if none is latched.
 func (l *IRQLine) Consume() bool {
 	l.mu.Lock()
-	defer l.mu.Unlock()
-	if l.pending == 0 {
-		return false
+	ok := l.pending > 0
+	if ok {
+		l.pending--
 	}
-	l.pending--
-	return true
+	l.mu.Unlock()
+	if ok {
+		l.emit(obs.KindIRQConsume)
+	}
+	return ok
 }
 
 // Total returns the number of interrupts raised since creation.
@@ -396,38 +569,35 @@ func (f FuncHandler) BusWrite(offset uint32, width int, v uint32) {
 	}
 }
 
-// Trace records every access for assertion in tests.
+// Trace records every access through a handler for assertion in tests. It
+// is a thin adapter binding the Handler plane to the obs event
+// vocabulary: recorded events are obs.Events with handler-relative Addr
+// and no timestamp (a Trace sees offsets, not the clock). Span
+// attribution is captured when tracking is enabled.
 type Trace struct {
 	Inner  Handler
 	Events []TraceEvent
 }
 
-// TraceEvent is one recorded access.
-type TraceEvent struct {
-	Write  bool
-	Offset uint32
-	Width  int
-	Value  uint32 // written value, or the value returned by a read
-}
-
-// String renders the event like "out8[2]=0x40" / "in8[0]=0x12".
-func (e TraceEvent) String() string {
-	dir := "in"
-	if e.Write {
-		dir = "out"
-	}
-	return fmt.Sprintf("%s%d[%d]=%#x", dir, e.Width, e.Offset, e.Value)
-}
+// TraceEvent is one recorded access — an alias of obs.Event, so the
+// differential tests and the observer pipeline pin one event vocabulary.
+type TraceEvent = obs.Event
 
 // BusRead implements Handler.
 func (t *Trace) BusRead(offset uint32, width int) uint32 {
 	v := t.Inner.BusRead(offset, width)
-	t.Events = append(t.Events, TraceEvent{Offset: offset, Width: width, Value: v})
+	t.Events = append(t.Events, TraceEvent{
+		Kind: obs.KindPortRead, Span: obs.Current(),
+		Addr: offset, Width: width, Value: uint64(v),
+	})
 	return v
 }
 
 // BusWrite implements Handler.
 func (t *Trace) BusWrite(offset uint32, width int, v uint32) {
-	t.Events = append(t.Events, TraceEvent{Write: true, Offset: offset, Width: width, Value: v})
+	t.Events = append(t.Events, TraceEvent{
+		Kind: obs.KindPortWrite, Span: obs.Current(),
+		Addr: offset, Width: width, Value: uint64(v),
+	})
 	t.Inner.BusWrite(offset, width, v)
 }

@@ -1,8 +1,12 @@
 package bus
 
 import (
+	"runtime"
+	"sync"
 	"testing"
 	"testing/quick"
+
+	"repro/internal/obs"
 )
 
 func newSpace() (*Space, *Clock) {
@@ -165,5 +169,232 @@ func TestTraceRecords(t *testing.T) {
 	}
 	if tr.Events[0].String() != "out8[1]=0x7f" || tr.Events[1].String() != "in8[1]=0x7f" {
 		t.Errorf("event strings = %v %v", tr.Events[0], tr.Events[1])
+	}
+}
+
+func TestBlockFaultChargesNothing(t *testing.T) {
+	// A faulting block transfer moved no data: it must book only the
+	// fault — no BlockIn/BlockOut, no BlockUnits, no virtual time, and
+	// the destination buffer must be left alone.
+	s, clk := newSpace()
+	s.MustMap(0, 16, NewRAM(16))
+	s.In8(0) // sanity traffic so the clock is non-zero
+	before := clk.Now()
+
+	b16 := []uint16{0x1111, 0x2222}
+	b32 := []uint32{0x33333333}
+	s.InBlock16(0x9999, b16)
+	s.OutBlock16(0x9999, b16)
+	s.InBlock32(0x9999, b32)
+	s.OutBlock32(0x9999, b32)
+
+	st := s.Stats()
+	if st.BlockIn != 0 || st.BlockOut != 0 || st.BlockUnits != 0 {
+		t.Errorf("faulting blocks were booked: %+v", st)
+	}
+	if st.Faults != 4 {
+		t.Errorf("faults = %d, want 4", st.Faults)
+	}
+	if clk.Now() != before {
+		t.Errorf("faulting blocks advanced the clock by %d ns", clk.Now()-before)
+	}
+	if b16[0] != 0x1111 || b16[1] != 0x2222 || b32[0] != 0x33333333 {
+		t.Errorf("faulting InBlock touched the buffer: %v %v", b16, b32)
+	}
+}
+
+func TestStrictFaultsAllPaths(t *testing.T) {
+	// Every access width and both block directions must escalate under
+	// StrictFaults, not just In8.
+	paths := map[string]func(s *Space){
+		"in8":        func(s *Space) { s.In8(0x9999) },
+		"out8":       func(s *Space) { s.Out8(0x9999, 0) },
+		"in16":       func(s *Space) { s.In16(0x9999) },
+		"out16":      func(s *Space) { s.Out16(0x9999, 0) },
+		"in32":       func(s *Space) { s.In32(0x9999) },
+		"out32":      func(s *Space) { s.Out32(0x9999, 0) },
+		"inblock16":  func(s *Space) { s.InBlock16(0x9999, make([]uint16, 2)) },
+		"outblock16": func(s *Space) { s.OutBlock16(0x9999, make([]uint16, 2)) },
+		"inblock32":  func(s *Space) { s.InBlock32(0x9999, make([]uint32, 2)) },
+		"outblock32": func(s *Space) { s.OutBlock32(0x9999, make([]uint32, 2)) },
+	}
+	for name, access := range paths {
+		t.Run(name, func(t *testing.T) {
+			s, _ := newSpace()
+			s.StrictFaults = true
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s of unmapped port did not panic", name)
+				}
+			}()
+			access(s)
+		})
+	}
+}
+
+func TestIRQLineInterleavings(t *testing.T) {
+	var l IRQLine
+	// Raise-raise-consume-raise-consume-consume: the latch is a counter,
+	// not a flag, so no edge is lost regardless of interleaving.
+	l.Raise()
+	l.Raise()
+	if !l.Pending() {
+		t.Error("pending after two raises")
+	}
+	if !l.Consume() {
+		t.Error("first consume")
+	}
+	l.Raise()
+	if !l.Consume() || !l.Consume() {
+		t.Error("latched interrupts lost")
+	}
+	if l.Pending() || l.Consume() {
+		t.Error("line not empty after draining")
+	}
+	if l.Total() != 3 {
+		t.Errorf("total = %d, want 3", l.Total())
+	}
+}
+
+func TestIRQLineConcurrentRaise(t *testing.T) {
+	// Concurrent raisers against a consuming drain; run under -race this
+	// exercises the lock discipline, and the counts must balance exactly.
+	var l IRQLine
+	const raisers, perRaiser = 8, 1000
+	var wg sync.WaitGroup
+	for i := 0; i < raisers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < perRaiser; j++ {
+				l.Raise()
+			}
+		}()
+	}
+	consumed := 0
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for consumed < raisers*perRaiser {
+			if l.Consume() {
+				consumed++
+			} else {
+				runtime.Gosched()
+			}
+		}
+	}()
+	wg.Wait()
+	<-done
+	if l.Total() != raisers*perRaiser {
+		t.Errorf("total = %d, want %d", l.Total(), raisers*perRaiser)
+	}
+	if l.Pending() {
+		t.Error("interrupts left pending after balanced drain")
+	}
+}
+
+func TestObserverEmission(t *testing.T) {
+	s, clk := newSpace()
+	s.MustMapNamed("chip", 0x100, 16, NewRAM(16))
+	ring := obs.NewRing(64)
+	s.SetObserver(ring)
+	defer s.SetObserver(nil)
+
+	s.Out8(0x100, 0x42)
+	s.In8(0x100)
+	s.InBlock16(0x100, make([]uint16, 4))
+	s.In8(0x9999) // fault
+
+	ev := ring.Events()
+	if len(ev) != 4 {
+		t.Fatalf("events = %d, want 4: %v", len(ev), ev)
+	}
+	if ev[0].Kind != obs.KindPortWrite || ev[0].Source != "chip" || ev[0].Value != 0x42 || ev[0].Cost != 110 {
+		t.Errorf("write event = %+v", ev[0])
+	}
+	if ev[1].Kind != obs.KindPortRead || ev[1].Value != 0x42 {
+		t.Errorf("read event = %+v", ev[1])
+	}
+	if ev[2].Kind != obs.KindBlockIn || ev[2].Units != 4 || ev[2].Cost != 10+4*100 {
+		t.Errorf("block event = %+v", ev[2])
+	}
+	// The fault names the space, not a mapping, and is the only event
+	// carried at the still-current clock (faults charge on singles).
+	if ev[3].Kind != obs.KindFault || ev[3].Source != "test" || ev[3].Detail != "read" {
+		t.Errorf("fault event = %+v", ev[3])
+	}
+	for i := 1; i < len(ev); i++ {
+		if ev[i].TS < ev[i-1].TS {
+			t.Errorf("timestamps regress: %d < %d", ev[i].TS, ev[i-1].TS)
+		}
+	}
+	if last := ev[len(ev)-1].TS; last > clk.Now() {
+		t.Errorf("event TS %d beyond clock %d", last, clk.Now())
+	}
+}
+
+func TestClockObserverEmission(t *testing.T) {
+	var clk Clock
+	ring := obs.NewRing(8)
+	clk.SetObserver("clock", ring)
+	defer clk.SetObserver("", nil)
+	clk.Advance(250)
+	ev := ring.Events()
+	if len(ev) != 1 || ev[0].Kind != obs.KindClockAdvance || ev[0].Cost != 250 || ev[0].TS != 250 {
+		t.Errorf("clock events = %v", ev)
+	}
+}
+
+func TestIRQLineObserverEmission(t *testing.T) {
+	var clk Clock
+	clk.advance(77)
+	ring := obs.NewRing(8)
+	l := IRQLine{Name: "irq5", Clock: &clk, Obs: ring}
+	l.Raise()
+	l.Consume()
+	l.Consume() // empty: must not emit
+	ev := ring.Events()
+	if len(ev) != 2 {
+		t.Fatalf("events = %v", ev)
+	}
+	if ev[0].Kind != obs.KindIRQRaise || ev[0].Source != "irq5" || ev[0].TS != 77 {
+		t.Errorf("raise event = %+v", ev[0])
+	}
+	if ev[1].Kind != obs.KindIRQConsume {
+		t.Errorf("consume event = %+v", ev[1])
+	}
+}
+
+func TestObserverSpanAttribution(t *testing.T) {
+	s, _ := newSpace()
+	s.MustMap(0, 16, NewRAM(16))
+	ring := obs.NewRing(8)
+	s.SetObserver(ring) // enables span tracking
+	defer s.SetObserver(nil)
+
+	done := obs.Span("phase")
+	s.Out8(0, 1)
+	done()
+	s.Out8(0, 2)
+
+	ev := ring.Events()
+	if len(ev) != 2 || ev[0].Span != "phase" || ev[1].Span != "" {
+		t.Errorf("span attribution = %q, %q", ev[0].Span, ev[1].Span)
+	}
+}
+
+func TestSetObserverTogglesSpanTracking(t *testing.T) {
+	s, _ := newSpace()
+	if obs.Enabled() {
+		t.Fatal("span tracking on at test entry")
+	}
+	s.SetObserver(obs.Func(func(obs.Event) {}))
+	if !obs.Enabled() {
+		t.Error("attaching an observer did not enable span tracking")
+	}
+	s.SetObserver(obs.Func(func(obs.Event) {})) // replace: no double-enable
+	s.SetObserver(nil)
+	if obs.Enabled() {
+		t.Error("detaching the observer did not disable span tracking")
 	}
 }

@@ -369,19 +369,19 @@ func TestPICInitCascadedWithICW4(t *testing.T) {
 		t.Fatalf("events = %v, want 4 writes", ev)
 	}
 	// icw1: bit4 forced 1, ic4 bit0 = 1 -> 0x11 at offset 0.
-	if ev[0].Offset != 0 || ev[0].Value != 0x11 {
+	if ev[0].Addr != 0 || ev[0].Value != 0x11 {
 		t.Errorf("icw1 = %v, want out8[0]=0x11", ev[0])
 	}
 	// icw2: base_vec=4 in bits 7..3, low bits forced 0 -> 0x20 at offset 1.
-	if ev[1].Offset != 1 || ev[1].Value != 0x20 {
+	if ev[1].Addr != 1 || ev[1].Value != 0x20 {
 		t.Errorf("icw2 = %v, want out8[1]=0x20", ev[1])
 	}
 	// icw3: slaves mask.
-	if ev[2].Offset != 1 || ev[2].Value != 0x04 {
+	if ev[2].Addr != 1 || ev[2].Value != 0x04 {
 		t.Errorf("icw3 = %v, want out8[1]=0x4", ev[2])
 	}
 	// icw4: aeoi bit1 + x8086 bit0, top bits forced 0 -> 0x03.
-	if ev[3].Offset != 1 || ev[3].Value != 0x03 {
+	if ev[3].Addr != 1 || ev[3].Value != 0x03 {
 		t.Errorf("icw4 = %v, want out8[1]=0x3", ev[3])
 	}
 }
@@ -395,7 +395,7 @@ func TestPICInitSingleWithoutICW4(t *testing.T) {
 	if ev[0].Value != 0x12 {
 		t.Errorf("icw1 = %v, want 0x12", ev[0])
 	}
-	if ev[1].Offset != 1 || ev[1].Value != 0x20 {
+	if ev[1].Addr != 1 || ev[1].Value != 0x20 {
 		t.Errorf("icw2 = %v", ev[1])
 	}
 }

@@ -6,6 +6,7 @@ import (
 
 	genide "repro/internal/gen/ide"
 	genpiix4 "repro/internal/gen/piix4"
+	"repro/internal/obs"
 )
 
 // Devil is the Devil-based driver: every device access goes through the
@@ -34,6 +35,7 @@ func (d *Devil) Name() string { return "devil" }
 
 // Init implements Driver.
 func (d *Devil) Init() error {
+	defer obs.Span("init")()
 	if d.cfg.Mode == PIO && d.cfg.SectorsPerIRQ > 1 {
 		d.dev.SetNsect(uint8(d.cfg.SectorsPerIRQ))
 		d.dev.SetCommand(genide.CommandSETMULTIPLE)
@@ -108,6 +110,7 @@ func (d *Devil) ReadSectors(lba int, dst []byte) error {
 }
 
 func (d *Devil) readPIO(lba int, dst []byte) error {
+	defer obs.Span("read.pio")()
 	count := len(dst) / sectorSize
 	cmd := genide.CommandREADSECTORS
 	per := 1
@@ -224,6 +227,7 @@ func (d *Devil) WriteSectors(lba int, src []byte) error {
 }
 
 func (d *Devil) writePIO(lba int, src []byte) error {
+	defer obs.Span("write.pio")()
 	count := len(src) / sectorSize
 	cmd := genide.CommandWRITESECTORS
 	per := 1
@@ -274,10 +278,13 @@ func (d *Devil) writeDMA(lba int, src []byte) error {
 func (d *Devil) dma(lba, count int, read bool) error {
 	dir := genpiix4.BmDirBMWRITE
 	cmd := genide.CommandWRITEDMA
+	phase := "write.dma"
 	if read {
 		dir = genpiix4.BmDirBMREAD
 		cmd = genide.CommandREADDMA
+		phase = "read.dma"
 	}
+	defer obs.Span(phase)()
 	d.bm.SetBmAckIrq(true)
 	d.bm.SetBmAckErr(true)
 	d.bm.SetPrdAddr(d.p.DMAAddr)

@@ -3,6 +3,8 @@ package ide
 import (
 	"encoding/binary"
 	"fmt"
+
+	"repro/internal/obs"
 )
 
 // The magic constants a hand-crafted driver carries around — offsets and
@@ -51,6 +53,7 @@ func (d *Hand) Name() string { return "standard" }
 
 // Init implements Driver.
 func (d *Hand) Init() error {
+	defer obs.Span("init")()
 	io := d.p.Space
 	if d.cfg.Mode == PIO && d.cfg.SectorsPerIRQ > 1 {
 		io.Out8(d.p.CmdBase+hwNSect, uint8(d.cfg.SectorsPerIRQ))
@@ -104,6 +107,7 @@ func (d *Hand) ReadSectors(lba int, dst []byte) error {
 }
 
 func (d *Hand) readPIO(lba int, dst []byte) error {
+	defer obs.Span("read.pio")()
 	io := d.p.Space
 	count := len(dst) / sectorSize
 	cmd := uint8(hwCmdRead)
@@ -227,6 +231,7 @@ func (d *Hand) WriteSectors(lba int, src []byte) error {
 }
 
 func (d *Hand) writePIO(lba int, src []byte) error {
+	defer obs.Span("write.pio")()
 	io := d.p.Space
 	count := len(src) / sectorSize
 	cmd := uint8(hwCmdWrite)
@@ -278,10 +283,13 @@ func (d *Hand) dma(lba, count int, read bool) error {
 	io := d.p.Space
 	dir := uint8(0)
 	cmd := uint8(hwCmdWriteDMA)
+	phase := "write.dma"
 	if read {
 		dir = hwBMRead
 		cmd = hwCmdReadDMA
+		phase = "read.dma"
 	}
+	defer obs.Span(phase)()
 	io.Out8(d.p.BMBase+2, hwBMStIRQ|hwBMStErr) // ack stale status
 	io.Out32(d.p.BMBase+4, d.p.DMAAddr)
 	io.Out8(d.p.BMBase+0, dir)

@@ -2,6 +2,7 @@ package permedia2
 
 import (
 	gen "repro/internal/gen/permedia2"
+	"repro/internal/obs"
 )
 
 // Devil is the Devil-based driver: all accesses go through the stubs
@@ -23,6 +24,7 @@ func (d *Devil) Name() string { return "devil" }
 
 // Init implements Driver.
 func (d *Devil) Init(bpp int) error {
+	defer obs.Span("init")()
 	if _, err := depthCode(bpp); err != nil {
 		return err
 	}
@@ -56,6 +58,7 @@ func (d *Devil) waitFIFO(n int) {
 // FillRect implements Driver: 3 waits + 17 writes at 8/16/32 bpp,
 // 2 waits + 10 writes at 24 bpp.
 func (d *Devil) FillRect(x, y, w, h int, color uint32) {
+	defer obs.Span("fillrect")()
 	dev := d.dev
 	if d.bpp == 24 {
 		d.waitFIFO(5)
@@ -97,6 +100,7 @@ func (d *Devil) FillRect(x, y, w, h int, color uint32) {
 // CopyRect implements Driver: 3 waits + 17 writes at 8/16 bpp,
 // 2 waits + 9 writes at 24/32 bpp.
 func (d *Devil) CopyRect(sx, sy, dx, dy, w, h int) {
+	defer obs.Span("copyrect")()
 	dev := d.dev
 	if d.bpp == 24 || d.bpp == 32 {
 		d.waitFIFO(4)

@@ -6,6 +6,7 @@ import (
 	gencs "repro/internal/gen/cs4236"
 	gendma "repro/internal/gen/dma8237"
 	genpic "repro/internal/gen/pic8259"
+	"repro/internal/obs"
 )
 
 // Devil is the Devil-based driver: every device access goes through the
@@ -60,6 +61,7 @@ func rateSym(hz int) (gencs.RateVal, error) {
 // write, and the codec format/rate programming is one structure flush of
 // the pfmt fields into I8.
 func (d *Devil) Init() error {
+	defer obs.Span("init")()
 	d.pic.SetLirq(0)
 	d.pic.SetLtim(false)
 	d.pic.SetAdi(false)
@@ -94,6 +96,7 @@ func (d *Devil) Init() error {
 // serialization the specification makes unskippable (one more I/O
 // operation than the hand driver's shared-flip-flop shortcut).
 func (d *Devil) arm() {
+	defer obs.Span("play.arm")()
 	d.dma.SetMaskChan(0)
 	d.dma.SetMaskOn(true)
 	d.dma.WriteSingleMask()
@@ -114,6 +117,7 @@ func (d *Devil) arm() {
 // (or mask the channel after the final revolution), clear the flag, and
 // send the specific EOI.
 func (d *Devil) isr(buf []byte, rev, revs int) error {
+	defer obs.Span("play.isr")()
 	vec, ok := d.p.Ack()
 	if !ok || vec != d.p.vector() {
 		return fmt.Errorf("sound: spurious interrupt vector %#x", vec)
@@ -148,7 +152,7 @@ func (d *Devil) Play(clip []byte) error {
 	}
 	copy(d.p.Mem.Data[d.p.RingAddr:], buf[:d.cfg.RingBytes])
 	d.arm()
-	d.codec.SetPen(true)
+	obs.WithSpan("play.start", func() { d.codec.SetPen(true) })
 	for rev := 1; rev <= revs; rev++ {
 		if err := d.p.waitIRQ(); err != nil {
 			return err
@@ -158,8 +162,10 @@ func (d *Devil) Play(clip []byte) error {
 		}
 	}
 	// Drain the FIFO tail through the DAC, then stop it.
-	for d.p.Pump(pumpBurst) > 0 {
-	}
-	d.codec.SetPen(false)
+	obs.WithSpan("play.stop", func() {
+		for d.p.Pump(pumpBurst) > 0 {
+		}
+		d.codec.SetPen(false)
+	})
 	return nil
 }

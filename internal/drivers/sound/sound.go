@@ -23,6 +23,7 @@ import (
 	"fmt"
 
 	"repro/internal/bus"
+	"repro/internal/obs"
 	simcs "repro/internal/sim/cs4236"
 	simdma "repro/internal/sim/dma8237"
 	simpic "repro/internal/sim/pic8259"
@@ -123,6 +124,10 @@ func (p *Ports) vector() uint8 { return p.VecBase<<3 | uint8(p.IRQLine&7) }
 // that makes no progress with no interrupt pending is a stall (FIFO
 // underrun or protocol bug), not a timing race.
 func (p *Ports) waitIRQ() error {
+	// "play.wait" attributes everything the hardware does while the CPU
+	// idles — sample-clock advances, DMA terminal count, the IRQ raise —
+	// plus the interrupt-latency charge, identically for both drivers.
+	defer obs.Span("play.wait")()
 	for !p.IRQ.Consume() {
 		if p.Pump == nil {
 			return fmt.Errorf("sound: playback stalled waiting for terminal count")
@@ -210,10 +215,27 @@ func NewRig() *Rig {
 	dma.OnTC = func() { codec.RaisePI(); pic.Raise(IRQLine) }
 	pic.INT = irq.Raise
 
-	space.MustMap(WSSBase, 2, codec)
-	space.MustMap(DMABase, 13, dma)
-	space.MustMap(PICBase, 2, pic)
+	space.MustMapNamed("cs4236", WSSBase, 2, codec)
+	space.MustMapNamed("dma8237", DMABase, 13, dma)
+	space.MustMapNamed("pic8259", PICBase, 2, pic)
 	return &Rig{Clock: clk, Space: space, Mem: mem, Codec: codec, DMA: dma, PIC: pic, IRQ: irq}
+}
+
+// Observe attaches o to every event producer in the rig: the port space,
+// the virtual clock, the CPU interrupt line, and the three chip engines.
+// Pass nil to detach. Attach before traffic; the producers are not
+// synchronized against mid-experiment rewiring.
+func (r *Rig) Observe(o obs.Observer) {
+	r.Space.SetObserver(o)
+	r.Clock.SetObserver("clock", o)
+	r.IRQ.Name = fmt.Sprintf("irq%d", IRQLine)
+	r.IRQ.Clock = r.Clock
+	r.IRQ.Obs = o
+	r.Codec.Obs = o
+	r.DMA.Clock = r.Clock
+	r.DMA.Obs = o
+	r.PIC.Clock = r.Clock
+	r.PIC.Obs = o
 }
 
 // Ports returns the driver-facing wiring of the rig.

@@ -24,6 +24,7 @@ import (
 	pmdrv "repro/internal/drivers/permedia2"
 	snddrv "repro/internal/drivers/sound"
 	"repro/internal/mutation"
+	"repro/internal/obs"
 	simide "repro/internal/sim/ide"
 	simpm "repro/internal/sim/permedia2"
 )
@@ -399,4 +400,50 @@ func Table5(revs int) (string, error) {
 			r.Config, r.StdOps, r.StdMBs, r.DevilOps, r.DevilMBs, r.Ratio*100)
 	}
 	return b.String(), nil
+}
+
+// ---------------------------------------------------------------------------
+// Trace capture
+
+// CaptureSound runs one sound-pipeline playback with the full observation
+// pipeline attached and returns the captured event stream: every port
+// access stamped with virtual time and attributed to the driver phase (and,
+// for the Devil driver, the .dil variable the generated stub was accessing),
+// interleaved with the IRQ, DMA terminal-count, and clock-advance events of
+// the three chips. driver selects "standard" (or "hand") or "devil".
+func CaptureSound(driver string, cfg snddrv.Config, revs int) ([]obs.Event, error) {
+	rig := snddrv.NewRig()
+	var drv snddrv.Driver
+	switch driver {
+	case "standard", "hand":
+		drv = snddrv.NewHand(rig.Ports(), cfg)
+	case "devil":
+		drv = snddrv.NewDevil(rig.Ports(), cfg)
+	default:
+		return nil, fmt.Errorf("unknown driver %q (want standard or devil)", driver)
+	}
+	ring := obs.NewRing(1 << 20)
+	rig.Observe(ring)
+	defer rig.Observe(nil)
+	if err := drv.Init(); err != nil {
+		return nil, err
+	}
+	clip := make([]byte, cfg.RingBytes*revs)
+	for i := range clip {
+		clip[i] = byte(i>>4) ^ byte(i*11)
+	}
+	if err := drv.Play(clip); err != nil {
+		return nil, err
+	}
+	if dropped := ring.Dropped(); dropped > 0 {
+		return nil, fmt.Errorf("trace ring overflowed: %d events dropped", dropped)
+	}
+	return ring.Events(), nil
+}
+
+// DefaultCaptureConfig is the Table 5 row the trace tooling records by
+// default: the small-ring 22050 Hz mono configuration, whose per-revolution
+// refill cycle is the paper's running example.
+func DefaultCaptureConfig() snddrv.Config {
+	return snddrv.Config{Rate: 22050, RingBytes: 512}
 }

@@ -3,6 +3,8 @@ package experiments
 import (
 	"strings"
 	"testing"
+
+	"repro/internal/obs"
 )
 
 // TestTable2Shape verifies the qualitative Table 2 claims on a small
@@ -150,6 +152,85 @@ func TestTable5Rendering(t *testing.T) {
 	for _, want := range []string{"Table 5", "Sound-DMA", "48000Hz 16-bit stereo"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("Table 5 output missing %q", want)
+		}
+	}
+}
+
+func TestCaptureSoundAttribution(t *testing.T) {
+	// The Table 5 refill trace, asserted on attributed events instead of
+	// raw counters: every port operation must carry a driver phase, every
+	// Devil-driver operation must additionally name the .dil variable its
+	// stub was accessing, and the per-phase op counts pin the exact
+	// hand-vs-devil delta (the generated stubs win the ISR — the codegen
+	// index-write elision — and pay one extra flip-flop clear in arm).
+	cfg := DefaultCaptureConfig()
+	const revs = 4
+	hand, err := CaptureSound("standard", cfg, revs)
+	if err != nil {
+		t.Fatalf("capture standard: %v", err)
+	}
+	devil, err := CaptureSound("devil", cfg, revs)
+	if err != nil {
+		t.Fatalf("capture devil: %v", err)
+	}
+
+	opsByPhase := func(events []obs.Event) (map[string]uint64, uint64) {
+		m := map[string]uint64{}
+		var total uint64
+		for _, e := range events {
+			if !e.Kind.IsOp() {
+				continue
+			}
+			m[obs.PhaseOf(e.Span)]++
+			total++
+		}
+		return m, total
+	}
+
+	for _, e := range hand {
+		if e.Kind.IsOp() && obs.PhaseOf(e.Span) == "" {
+			t.Fatalf("standard op without phase attribution: %v (span %q)", e, e.Span)
+		}
+	}
+	for _, e := range devil {
+		if !e.Kind.IsOp() {
+			continue
+		}
+		if obs.PhaseOf(e.Span) == "" {
+			t.Fatalf("devil op without phase attribution: %v (span %q)", e, e.Span)
+		}
+		if e.Span == obs.PhaseOf(e.Span) {
+			t.Fatalf("devil op not attributed to a .dil variable: %v (span %q)", e, e.Span)
+		}
+	}
+
+	handPhases, handTotal := opsByPhase(hand)
+	devilPhases, devilTotal := opsByPhase(devil)
+	if handTotal != 43 || devilTotal != 37 {
+		t.Errorf("op totals = %d vs %d, want 43 vs 37", handTotal, devilTotal)
+	}
+	// The Table 5 comparison (post-Init traffic only): the exact
+	// 37-vs-31 hand/devil delta at 4 revolutions.
+	if play, want := handTotal-handPhases["init"], uint64(37); play != want {
+		t.Errorf("standard play ops = %d, want %d", play, want)
+	}
+	if play, want := devilTotal-devilPhases["init"], uint64(31); play != want {
+		t.Errorf("devil play ops = %d, want %d", play, want)
+	}
+	want := []struct {
+		phase       string
+		hand, devil uint64
+	}{
+		{"init", 6, 6},
+		{"play.arm", 8, 9},   // the spec's unskippable flip-flop clear
+		{"play.isr", 25, 18}, // index-write elision in the generated stubs
+		{"play.start", 2, 2},
+		{"play.stop", 2, 2},
+	}
+	for _, w := range want {
+		if handPhases[w.phase] != w.hand || devilPhases[w.phase] != w.devil {
+			t.Errorf("phase %q ops = %d vs %d, want %d vs %d",
+				w.phase, handPhases[w.phase], devilPhases[w.phase], w.hand, w.devil)
 		}
 	}
 }

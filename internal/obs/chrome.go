@@ -1,0 +1,172 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Chrome trace-event export: the captured virtual-clock timeline as a
+// JSON document Perfetto (ui.perfetto.dev) and chrome://tracing load
+// directly. One process represents the virtual machine; each event
+// Source (chip or mapped region) gets its own thread, so the viewer
+// shows one track per chip. Costed events become complete ("X") slices
+// spanning [TS-Cost, TS]; zero-cost events become instants ("i").
+//
+// The trace-event format counts ts/dur in microseconds; the virtual
+// clock counts nanoseconds, so values are scaled by 1e-3 and keep
+// sub-microsecond resolution as fractions.
+
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Phase string         `json:"ph"`
+	TS    float64        `json:"ts"`
+	Dur   *float64       `json:"dur,omitempty"`
+	PID   int            `json:"pid"`
+	TID   int            `json:"tid"`
+	Scope string         `json:"s,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+const chromePID = 1
+
+// WriteChromeTrace writes events as a trace-event JSON document. Events
+// are sorted by start time (TS-Cost) — the ts the document emits, which
+// keeps the timeline monotonic even when a zero-cost event fired inside
+// a costed one's handler; sources are assigned thread tracks in
+// first-appearance order.
+func WriteChromeTrace(w io.Writer, events []Event) error {
+	sorted := make([]Event, len(events))
+	copy(sorted, events)
+	start := func(e Event) uint64 { return e.TS - e.Cost }
+	sort.SliceStable(sorted, func(i, j int) bool { return start(sorted[i]) < start(sorted[j]) })
+
+	tids := map[string]int{}
+	var sources []string
+	tidOf := func(source string) int {
+		if source == "" {
+			source = "(unattributed)"
+		}
+		id, ok := tids[source]
+		if !ok {
+			id = len(tids) + 1
+			tids[source] = id
+			sources = append(sources, source)
+		}
+		return id
+	}
+
+	out := chromeTrace{DisplayTimeUnit: "ns"}
+	var body []chromeEvent
+	for _, e := range sorted {
+		ce := chromeEvent{
+			Phase: "X",
+			PID:   chromePID,
+			TID:   tidOf(e.Source),
+			Args: map[string]any{
+				"op":   e.String(),
+				"kind": e.Kind.String(),
+			},
+		}
+		if e.Span != "" {
+			ce.Name = e.Span
+			ce.Args["span"] = e.Span
+			if p := PhaseOf(e.Span); p != "" {
+				ce.Args["phase"] = p
+			}
+		} else {
+			ce.Name = e.String()
+		}
+		if e.Cost > 0 {
+			start := e.TS - e.Cost
+			ce.TS = float64(start) / 1e3
+			dur := float64(e.Cost) / 1e3
+			ce.Dur = &dur
+		} else {
+			ce.Phase = "i"
+			ce.Scope = "t"
+			ce.TS = float64(e.TS) / 1e3
+		}
+		body = append(body, ce)
+	}
+
+	// Metadata first: process name, then one thread_name per source so
+	// every chip labels its own track.
+	out.TraceEvents = append(out.TraceEvents, chromeEvent{
+		Name: "process_name", Phase: "M", PID: chromePID,
+		Args: map[string]any{"name": "devil virtual machine"},
+	})
+	for _, src := range sources {
+		out.TraceEvents = append(out.TraceEvents, chromeEvent{
+			Name: "thread_name", Phase: "M", PID: chromePID, TID: tids[src],
+			Args: map[string]any{"name": src},
+		})
+	}
+	out.TraceEvents = append(out.TraceEvents, body...)
+
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(out)
+}
+
+// ValidateChromeTrace checks a JSON document against the subset of the
+// trace-event schema the exporter emits: a traceEvents array whose
+// entries carry name/ph/pid/ts, with non-decreasing start timestamps
+// over the non-metadata events, and — when requiredTracks are given —
+// a thread_name metadata entry for each required track (the "all chips
+// present" CI gate).
+func ValidateChromeTrace(data []byte, requiredTracks ...string) error {
+	var doc struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return fmt.Errorf("trace is not well-formed JSON: %w", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		return fmt.Errorf("trace has no traceEvents")
+	}
+	tracks := map[string]bool{}
+	lastTS := -1.0
+	for i, raw := range doc.TraceEvents {
+		var e struct {
+			Name  *string        `json:"name"`
+			Phase *string        `json:"ph"`
+			PID   *int           `json:"pid"`
+			TS    *float64       `json:"ts"`
+			Args  map[string]any `json:"args"`
+		}
+		if err := json.Unmarshal(raw, &e); err != nil {
+			return fmt.Errorf("traceEvents[%d]: %w", i, err)
+		}
+		if e.Name == nil || e.Phase == nil || e.PID == nil {
+			return fmt.Errorf("traceEvents[%d]: missing name/ph/pid", i)
+		}
+		if *e.Phase == "M" {
+			if *e.Name == "thread_name" {
+				if n, ok := e.Args["name"].(string); ok {
+					tracks[n] = true
+				}
+			}
+			continue
+		}
+		if e.TS == nil {
+			return fmt.Errorf("traceEvents[%d] (%s): missing ts", i, *e.Name)
+		}
+		if *e.TS < lastTS {
+			return fmt.Errorf("traceEvents[%d] (%s): ts %.3f decreases from %.3f", i, *e.Name, *e.TS, lastTS)
+		}
+		lastTS = *e.TS
+	}
+	for _, want := range requiredTracks {
+		if !tracks[want] {
+			return fmt.Errorf("trace has no %q track (thread_name metadata absent)", want)
+		}
+	}
+	return nil
+}

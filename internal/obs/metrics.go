@@ -1,0 +1,206 @@
+package obs
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// HistBuckets is the number of log2 cost buckets a Stat keeps: bucket i
+// counts events whose virtual cost was in [2^(i-1), 2^i) ns, with
+// bucket 0 counting zero-cost events. 32 buckets cover costs up to ~2s
+// of virtual time per event, far beyond any single device operation.
+const HistBuckets = 32
+
+// Key identifies one metrics row: the emitting chip and the attribution
+// active when the event fired.
+type Key struct {
+	Source string
+	Span   string
+}
+
+// Stat aggregates the events of one Key.
+type Stat struct {
+	Events uint64 // all events
+	Ops    uint64 // port-level I/O operations (Kind.IsOp)
+	Bytes  uint64 // payload moved by those operations
+	VirtNS uint64 // virtual time consumed
+	Hist   [HistBuckets]uint64
+}
+
+func (s *Stat) add(e Event) {
+	s.Events++
+	if e.Kind.IsOp() {
+		s.Ops++
+		s.Bytes += e.Bytes()
+	}
+	s.VirtNS += e.Cost
+	s.Hist[costBucket(e.Cost)]++
+}
+
+func costBucket(cost uint64) int {
+	if cost == 0 {
+		return 0
+	}
+	b := bits.Len64(cost)
+	if b >= HistBuckets {
+		return HistBuckets - 1
+	}
+	return b
+}
+
+// BucketLabel renders a histogram bucket's cost range, e.g. "128-255ns".
+func BucketLabel(i int) string {
+	if i == 0 {
+		return "0ns"
+	}
+	lo := uint64(1) << (i - 1)
+	hi := uint64(1)<<i - 1
+	return fmt.Sprintf("%d-%dns", lo, hi)
+}
+
+// Metrics is a per-device/per-span registry: a concurrent Observer that
+// aggregates instead of buffering, so experiments can query op counts,
+// bytes, and virtual-ns histograms without retaining every event.
+type Metrics struct {
+	mu sync.Mutex
+	m  map[Key]*Stat
+}
+
+// NewMetrics returns an empty registry.
+func NewMetrics() *Metrics { return &Metrics{m: map[Key]*Stat{}} }
+
+// Observe folds e into the registry.
+func (m *Metrics) Observe(e Event) {
+	k := Key{Source: e.Source, Span: e.Span}
+	m.mu.Lock()
+	s := m.m[k]
+	if s == nil {
+		s = &Stat{}
+		m.m[k] = s
+	}
+	s.add(e)
+	m.mu.Unlock()
+}
+
+// Row is one registry entry in a Snapshot.
+type Row struct {
+	Key
+	Stat
+}
+
+// Snapshot returns a copy of every row, sorted by descending virtual
+// time then descending ops, so the most expensive attribution leads.
+func (m *Metrics) Snapshot() []Row {
+	m.mu.Lock()
+	rows := make([]Row, 0, len(m.m))
+	for k, s := range m.m {
+		rows = append(rows, Row{Key: k, Stat: *s})
+	}
+	m.mu.Unlock()
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].VirtNS != rows[j].VirtNS {
+			return rows[i].VirtNS > rows[j].VirtNS
+		}
+		if rows[i].Ops != rows[j].Ops {
+			return rows[i].Ops > rows[j].Ops
+		}
+		if rows[i].Source != rows[j].Source {
+			return rows[i].Source < rows[j].Source
+		}
+		return rows[i].Span < rows[j].Span
+	})
+	return rows
+}
+
+// Reset empties the registry.
+func (m *Metrics) Reset() {
+	m.mu.Lock()
+	m.m = map[Key]*Stat{}
+	m.mu.Unlock()
+}
+
+// PhaseOf extracts the driver-phase prefix of a span: the leading "/"
+// segments up to the first stub-level segment. Stub spans name a Devil
+// variable ("cs4236.pfmt.set") and therefore contain a dot; driver
+// phase annotations ("init", "play.isr") are pushed above them, so the
+// phase of "play.isr/cs4236.pfmt.set" is "play.isr". A span with no
+// phase prefix returns "".
+func PhaseOf(span string) string {
+	if span == "" {
+		return ""
+	}
+	segs := strings.Split(span, "/")
+	n := 0
+	for _, seg := range segs {
+		if isStubSegment(seg) {
+			break
+		}
+		n++
+	}
+	return strings.Join(segs[:n], "/")
+}
+
+// isStubSegment reports whether a span segment looks like a generated
+// stub or interpreter attribution (dev.var.op — at least two dots) as
+// opposed to a driver phase ("init", "play.isr").
+func isStubSegment(seg string) bool {
+	return strings.Count(seg, ".") >= 2
+}
+
+// SpanStat is one attribution's aggregate in a Summarize result.
+type SpanStat struct {
+	Span   string
+	Ops    uint64
+	Events uint64
+	Bytes  uint64
+	VirtNS uint64
+}
+
+// Summarize aggregates a captured event slice per full span, sorted by
+// descending ops then virtual time — the "top" view of a trace.
+func Summarize(events []Event) []SpanStat {
+	byKey := map[string]*SpanStat{}
+	var order []string
+	for _, e := range events {
+		s := byKey[e.Span]
+		if s == nil {
+			s = &SpanStat{Span: e.Span}
+			byKey[e.Span] = s
+			order = append(order, e.Span)
+		}
+		s.Events++
+		if e.Kind.IsOp() {
+			s.Ops++
+			s.Bytes += e.Bytes()
+		}
+		s.VirtNS += e.Cost
+	}
+	out := make([]SpanStat, 0, len(order))
+	for _, k := range order {
+		out = append(out, *byKey[k])
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Ops != out[j].Ops {
+			return out[i].Ops > out[j].Ops
+		}
+		if out[i].VirtNS != out[j].VirtNS {
+			return out[i].VirtNS > out[j].VirtNS
+		}
+		return out[i].Span < out[j].Span
+	})
+	return out
+}
+
+// SummarizeBy aggregates events per group(e) — e.g. PhaseOf of the span
+// for a per-phase view, or e.Source for a per-chip view.
+func SummarizeBy(events []Event, group func(Event) string) []SpanStat {
+	relabeled := make([]Event, len(events))
+	for i, e := range events {
+		e.Span = group(e)
+		relabeled[i] = e
+	}
+	return Summarize(relabeled)
+}

@@ -1,0 +1,68 @@
+package obs
+
+import "sync"
+
+// Ring is a bounded in-memory event sink. When full it drops the oldest
+// events, so a long-running capture keeps the most recent window — the
+// behavior a flight recorder wants. Safe for concurrent producers.
+type Ring struct {
+	mu      sync.Mutex
+	buf     []Event
+	start   int // index of the oldest event
+	n       int // live events in buf
+	dropped uint64
+}
+
+// NewRing returns a ring holding at most capacity events.
+func NewRing(capacity int) *Ring {
+	if capacity <= 0 {
+		capacity = 1
+	}
+	return &Ring{buf: make([]Event, capacity)}
+}
+
+// Observe appends e, evicting the oldest event when the ring is full.
+func (r *Ring) Observe(e Event) {
+	r.mu.Lock()
+	if r.n == len(r.buf) {
+		r.buf[r.start] = e
+		r.start = (r.start + 1) % len(r.buf)
+		r.dropped++
+	} else {
+		r.buf[(r.start+r.n)%len(r.buf)] = e
+		r.n++
+	}
+	r.mu.Unlock()
+}
+
+// Events returns the buffered events oldest-first as a fresh slice.
+func (r *Ring) Events() []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Event, r.n)
+	for i := 0; i < r.n; i++ {
+		out[i] = r.buf[(r.start+i)%len(r.buf)]
+	}
+	return out
+}
+
+// Len is the number of buffered events.
+func (r *Ring) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.n
+}
+
+// Dropped is how many events were evicted since the last Reset.
+func (r *Ring) Dropped() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.dropped
+}
+
+// Reset empties the ring and clears the dropped counter.
+func (r *Ring) Reset() {
+	r.mu.Lock()
+	r.start, r.n, r.dropped = 0, 0, 0
+	r.mu.Unlock()
+}

@@ -1,0 +1,121 @@
+package obs
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Span attribution: a goroutine-local stack of names pushed by the exec
+// interpreter, the codegen-emitted stubs, and driver phase annotations.
+// The stack is keyed by goroutine ID so concurrently running hosts do
+// not mix their attributions, and it is refcount-gated: with no
+// observers attached anywhere, Span costs one atomic load and returns a
+// shared no-op closure, so the generated stubs stay zero-cost when the
+// pipeline is disabled.
+
+var (
+	tracking atomic.Int32
+
+	spanMu sync.Mutex
+	spans  = map[uint64][]string{}
+)
+
+// Enable turns span tracking on. Calls nest: tracking stays on until a
+// matching number of Disable calls. bus.Space.SetObserver enables and
+// disables automatically; call this directly only when recording spans
+// without a space observer (e.g. a Trace handler in a unit test).
+func Enable() { tracking.Add(1) }
+
+// Disable undoes one Enable.
+func Disable() {
+	if tracking.Add(-1) < 0 {
+		tracking.Add(1)
+		panic("obs: Disable without matching Enable")
+	}
+}
+
+// Enabled reports whether span tracking is on.
+func Enabled() bool { return tracking.Load() > 0 }
+
+var nop = func() {}
+
+// Span pushes name onto the calling goroutine's attribution stack and
+// returns the pop. Nested spans join with "/": code running under
+// Span("play.isr") then Span("cs4236.pfmt.set") is attributed
+// "play.isr/cs4236.pfmt.set". When tracking is disabled the call is a
+// single atomic load.
+//
+//	defer obs.Span("cs4236.pfmt.set")()
+func Span(name string) func() {
+	if tracking.Load() == 0 {
+		return nop
+	}
+	g := gid()
+	spanMu.Lock()
+	st := spans[g]
+	joined := name
+	if len(st) > 0 {
+		joined = st[len(st)-1] + "/" + name
+	}
+	spans[g] = append(st, joined)
+	spanMu.Unlock()
+	return func() {
+		spanMu.Lock()
+		st := spans[g]
+		switch n := len(st); {
+		case n > 1:
+			spans[g] = st[:n-1]
+		case n == 1:
+			delete(spans, g)
+		}
+		spanMu.Unlock()
+	}
+}
+
+// WithSpan runs fn under name. Sugar for Span when a closure is more
+// natural than a defer.
+func WithSpan(name string, fn func()) {
+	defer Span(name)()
+	fn()
+}
+
+// Current returns the calling goroutine's full attribution
+// ("phase/dev.var.op"), or "" when the stack is empty or tracking is
+// disabled. Producers stamp it into Event.Span.
+func Current() string {
+	if tracking.Load() == 0 {
+		return ""
+	}
+	g := gid()
+	spanMu.Lock()
+	defer spanMu.Unlock()
+	st := spans[g]
+	if len(st) == 0 {
+		return ""
+	}
+	return st[len(st)-1]
+}
+
+// gid parses the goroutine ID out of the "goroutine N [" header that
+// runtime.Stack prints. There is no public API for it; the header
+// format has been stable since Go 1.0 and the parse is a few dozen ns —
+// and only paid while tracking is enabled.
+func gid() uint64 {
+	var buf [32]byte
+	n := runtime.Stack(buf[:], false)
+	s := buf[:n]
+	const prefix = "goroutine "
+	if len(s) < len(prefix) {
+		return 0
+	}
+	s = s[len(prefix):]
+	var id uint64
+	for _, c := range s {
+		if c < '0' || c > '9' {
+			break
+		}
+		id = id*10 + uint64(c-'0')
+	}
+	return id
+}

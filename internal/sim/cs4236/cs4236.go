@@ -21,6 +21,7 @@ import (
 	"sync"
 
 	"repro/internal/bus"
+	"repro/internal/obs"
 )
 
 // Port offsets relative to the device base.
@@ -97,6 +98,19 @@ type Sim struct {
 	Clock *bus.Clock      // shared virtual clock (sample timing)
 	DREQ  func(n int) int // pull up to n bytes from the DMA channel
 	Halt  func() bool     // pump barrier (e.g. an interrupt is pending)
+	Obs   obs.Observer    // engine event sink (PI raise, underrun); nil disables
+}
+
+// emit sends an engine event stamped from the shared clock.
+func (s *Sim) emit(kind obs.Kind, detail string) {
+	if s.Obs == nil {
+		return
+	}
+	var ts uint64
+	if s.Clock != nil {
+		ts = s.Clock.Now()
+	}
+	s.Obs.Observe(obs.Event{TS: ts, Kind: kind, Source: "cs4236", Span: obs.Current(), Detail: detail})
 }
 
 // New returns a codec with all registers zeroed.
@@ -203,6 +217,7 @@ func (s *Sim) RaisePI() {
 	s.mu.Lock()
 	s.indexed[RegAFS] |= AFSPI
 	s.mu.Unlock()
+	s.emit(obs.KindIRQRaise, "PI")
 }
 
 // Played returns every sample byte the DAC has consumed since the last
@@ -279,10 +294,14 @@ func (s *Sim) Pump(maxFrames int) int {
 			// lock: the channel's sink re-enters FIFOPush).
 			if s.DREQ == nil || s.DREQ(FIFODepth-level) == 0 {
 				s.mu.Lock()
-				if len(s.fifo) > 0 {
+				starved := len(s.fifo) > 0
+				if starved {
 					s.underrun = true // a partial frame is stuck
 				}
 				s.mu.Unlock()
+				if starved {
+					s.emit(obs.KindMark, "underrun")
+				}
 				break
 			}
 			continue // recheck the barrier: the pull may have hit TC

@@ -23,6 +23,7 @@ import (
 	"sync"
 
 	"repro/internal/bus"
+	"repro/internal/obs"
 )
 
 // Port offsets relative to the device's io parameter.
@@ -75,6 +76,8 @@ type Sim struct {
 	Sink   func(uint8)  // device end of a read transfer (memory -> device)
 	Source func() uint8 // device end of a write transfer (device -> memory)
 	OnTC   func()       // terminal-count pulse (EOP)
+	Clock  *bus.Clock   // event timestamps; nil stamps zero
+	Obs    obs.Observer // terminal-count event sink; nil disables emission
 }
 
 // New returns a controller with all channels masked, as after reset.
@@ -177,6 +180,16 @@ func (s *Sim) Transfer(units int) int {
 		}
 		done++
 		if tc {
+			if s.Obs != nil {
+				var ts uint64
+				if s.Clock != nil {
+					ts = s.Clock.Now()
+				}
+				s.Obs.Observe(obs.Event{
+					TS: ts, Kind: obs.KindDMATC, Source: "dma8237",
+					Span: obs.Current(), Detail: "ch0",
+				})
+			}
 			if s.OnTC != nil {
 				s.OnTC()
 			}

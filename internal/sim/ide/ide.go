@@ -20,6 +20,7 @@ import (
 	"sync"
 
 	"repro/internal/bus"
+	"repro/internal/obs"
 )
 
 // SectorSize is the ATA sector size in bytes.
@@ -127,6 +128,22 @@ type Disk struct {
 	// (unless nIEN gates it). IRQCount counts raised interrupts either way.
 	IRQ      func()
 	IRQCount uint64
+
+	// Obs, when non-nil, receives drive engine events: irq-raise per
+	// interrupt, seek per DMA media transfer. Set before traffic.
+	Obs obs.Observer
+}
+
+// emit sends a drive event stamped from the shared clock. Called with
+// d.mu held; sinks must not re-enter the disk (Ring/Metrics do not).
+func (d *Disk) emit(kind obs.Kind, detail string, units int, cost uint64) {
+	if d.Obs == nil {
+		return
+	}
+	d.Obs.Observe(obs.Event{
+		TS: d.clock.Now(), Kind: kind, Source: "ide",
+		Span: obs.Current(), Detail: detail, Units: units, Cost: cost,
+	})
 }
 
 // New creates a disk of the given size in sectors, filled with a
@@ -174,6 +191,7 @@ func (d *Disk) Attach(space *bus.Space, cmdBase, ctlBase, bmBase uint32) {
 
 func (d *Disk) raiseIRQ() {
 	d.IRQCount++
+	d.emit(obs.KindIRQRaise, "ide", 0, 0)
 	if d.ctl&0x02 != 0 { // nIEN set: interrupt gated off
 		return
 	}
@@ -403,6 +421,7 @@ func (d *Disk) startDMA() {
 		copy(d.mem.Data[addr:addr+bytes], d.image[d.dmaLBA*SectorSize:d.dmaLBA*SectorSize+bytes])
 	}
 	d.clock.Advance(uint64(bytes) * MediaByteNS)
+	d.emit(obs.KindSeek, "dma-media", bytes, uint64(bytes)*MediaByteNS)
 	d.bmStatus &^= BMStActive
 	d.bmStatus |= BMStIRQ
 	d.status = StDRDY | StDSC

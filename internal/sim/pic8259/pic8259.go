@@ -16,7 +16,13 @@
 // interrupt mask.
 package pic8259
 
-import "sync"
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/bus"
+	"repro/internal/obs"
+)
 
 // Port offsets relative to the device base.
 const (
@@ -73,6 +79,26 @@ type Sim struct {
 	// INT, when non-nil, is invoked whenever an unmasked request is
 	// pending and not yet in service — the INT line to the CPU.
 	INT func()
+
+	// Observation wiring; set before traffic, never changed
+	// mid-experiment. Raise and Ack emit irq-raise/irq-consume events.
+	Clock *bus.Clock   // event timestamps; nil stamps zero
+	Obs   obs.Observer // event sink; nil disables emission
+}
+
+// emit sends a controller event stamped from the wired clock.
+func (s *Sim) emit(kind obs.Kind, irq int) {
+	if s.Obs == nil {
+		return
+	}
+	var ts uint64
+	if s.Clock != nil {
+		ts = s.Clock.Now()
+	}
+	s.Obs.Observe(obs.Event{
+		TS: ts, Kind: kind, Source: "pic8259",
+		Span: obs.Current(), Detail: fmt.Sprintf("irq%d", irq),
+	})
 }
 
 // New returns an uninitialized controller (all requests masked out until
@@ -94,6 +120,7 @@ func (s *Sim) Raise(irq int) {
 	intr := s.pendingLocked()
 	cb := s.INT
 	s.mu.Unlock()
+	s.emit(obs.KindIRQRaise, irq&7)
 	if intr && cb != nil {
 		cb()
 	}
@@ -109,14 +136,18 @@ func (s *Sim) pendingLocked() bool {
 // the level) is returned. ok is false when nothing is pending.
 func (s *Sim) Ack() (vector uint8, ok bool) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	irq, ok := s.highestLocked(s.irr &^ s.imr)
+	if ok {
+		s.irr &^= 1 << irq
+		s.isr |= 1 << irq
+		vector = s.icw2&0xf8 | uint8(irq)
+	}
+	s.mu.Unlock()
 	if !ok {
 		return 0, false
 	}
-	s.irr &^= 1 << irq
-	s.isr |= 1 << irq
-	return s.icw2&0xf8 | uint8(irq), true
+	s.emit(obs.KindIRQConsume, int(irq))
+	return vector, true
 }
 
 // highestLocked returns the highest-priority set bit of bits, honouring
