@@ -8,6 +8,7 @@ import (
 	idedrv "repro/internal/drivers/ide"
 	pmdrv "repro/internal/drivers/permedia2"
 	"repro/internal/experiments"
+	"repro/internal/farm"
 	genbm "repro/internal/gen/busmouse"
 	gencs "repro/internal/gen/cs4236"
 	gendma "repro/internal/gen/dma8237"
@@ -149,6 +150,37 @@ func BenchmarkTable5(b *testing.B) {
 				b.ReportMetric(r.Ratio*100, "ratio-%")
 				b.ReportMetric(float64(r.StdOps), "std-ops/op")
 				b.ReportMetric(float64(r.DevilOps), "devil-ops/op")
+			}
+		})
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Table 6: device-farm scaling. One benchmark per worker count; the
+// reported aggregate MB/s and ops/s are fleet totals over the
+// virtual-time makespan, and the per-variant ops totals ride in the
+// lower-is-better ops/op family so the gate catches an I/O regression in
+// either driver family under fleet load.
+
+func BenchmarkTable6(b *testing.B) {
+	for _, workers := range experiments.Table6Workers {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				var perVariant [2]farm.FleetResult
+				for vi, v := range []farm.Variant{farm.Hand, farm.Devil} {
+					f := farm.RunFleet(farm.DefaultFleet(experiments.Table6Hosts, v), workers)
+					if err := f.Err(); err != nil {
+						b.Fatal(err)
+					}
+					perVariant[vi] = f
+				}
+				hand, devil := perVariant[0], perVariant[1]
+				b.ReportMetric(hand.MBPerSec(), "std-MB/s")
+				b.ReportMetric(devil.MBPerSec(), "devil-MB/s")
+				b.ReportMetric(hand.OpsPerSec(), "std-ops/s")
+				b.ReportMetric(devil.OpsPerSec(), "devil-ops/s")
+				b.ReportMetric(float64(hand.Ops), "std-ops/op")
+				b.ReportMetric(float64(devil.Ops), "devil-ops/op")
 			}
 		})
 	}
@@ -379,20 +411,33 @@ func BenchmarkBusObserverMetrics(b *testing.B) {
 	busObserverBench(b, func(s *bus.Space) { s.SetObserver(m) })
 }
 
+// BenchmarkObsSpanDisabled pins the cost a stub pays on an unobserved
+// host: a nil check plus one atomic load, no lock, no allocation.
 func BenchmarkObsSpanDisabled(b *testing.B) {
+	var sp obs.Spans
 	for i := 0; i < b.N; i++ {
-		if obs.Enabled() {
+		if sp.Enabled() {
 			b.Fatal("tracking unexpectedly on")
 		}
-		obs.Span("cs4236.pfmt.set")()
+		sp.Span("cs4236.pfmt.set")()
+	}
+}
+
+// BenchmarkObsSpanNilHost pins the cost for a producer with no host at
+// all (a stub bound to a bare test bus): one nil check.
+func BenchmarkObsSpanNilHost(b *testing.B) {
+	var sp *obs.Spans
+	for i := 0; i < b.N; i++ {
+		sp.Span("cs4236.pfmt.set")()
 	}
 }
 
 func BenchmarkObsSpanEnabled(b *testing.B) {
-	obs.Enable()
-	defer obs.Disable()
+	var sp obs.Spans
+	sp.Enable()
+	defer sp.Disable()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		obs.Span("cs4236.pfmt.set")()
+		sp.Span("cs4236.pfmt.set")()
 	}
 }

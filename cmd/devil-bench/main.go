@@ -1,10 +1,10 @@
 // Devil-bench regenerates the performance tables of the paper's evaluation
-// (Tables 2, 3 and 4) over the simulated devices, and optionally the
-// mutation study (Table 1).
+// (Tables 2-5) over the simulated devices, the mutation study (Table 1),
+// and the device-farm scaling experiment (Table 6).
 //
 // Usage:
 //
-//	devil-bench [-table N] [-sectors N] [-iters N]
+//	devil-bench [-table N] [-sectors N] [-iters N] [-revs N] [-hosts N]
 //
 // Without -table every table is printed.
 package main
@@ -18,9 +18,11 @@ import (
 )
 
 func main() {
-	table := flag.Int("table", 0, "table to regenerate (1-4; 0 = all)")
+	table := flag.Int("table", 0, "table to regenerate (1-6; 0 = all)")
 	sectors := flag.Int("sectors", 8192, "sectors per IDE transfer (Table 2)")
 	iters := flag.Int("iters", 2000, "primitives per measurement (Tables 3-4)")
+	revs := flag.Int("revs", 64, "ring revolutions per playback (Table 5)")
+	hosts := flag.Int("hosts", experiments.Table6Hosts, "fleet size (Table 6)")
 	flag.Parse()
 
 	type gen struct {
@@ -32,6 +34,8 @@ func main() {
 		{2, func() (string, error) { return experiments.Table2(*sectors) }},
 		{3, func() (string, error) { return experiments.Table3(*iters) }},
 		{4, func() (string, error) { return experiments.Table4(*iters) }},
+		{5, func() (string, error) { return experiments.Table5(*revs) }},
+		{6, func() (string, error) { return experiments.Table6(*hosts) }},
 	}
 	for _, g := range gens {
 		if *table != 0 && g.n != *table {

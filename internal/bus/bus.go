@@ -19,9 +19,10 @@
 //
 // A third book is optional: attach an obs.Observer with SetObserver and
 // every access, fault, and clock advance is also emitted as a typed,
-// virtually timestamped obs.Event carrying the goroutine-local span
-// attribution (see internal/obs). With no observer attached the only cost
-// is a nil check per operation.
+// virtually timestamped obs.Event carrying the host's span attribution
+// (see internal/obs; the stack lives on the host's Clock, so concurrent
+// hosts never share it). With no observer attached the only cost is a nil
+// check per operation.
 package bus
 
 import (
@@ -59,14 +60,30 @@ type Handler interface {
 // It is shared between spaces and device simulators. Clock is safe for use
 // from a single goroutine per experiment; cross-goroutine use needs the
 // caller's synchronization.
+//
+// The clock doubles as the host identity for span attribution: every
+// producer of one simulated host (its spaces, IRQ lines, and device
+// engines) shares one clock, so the clock carries the host's obs.Spans
+// stack. That keeps attribution structurally per-host — concurrent hosts
+// never share span state, and observing one host costs the others nothing.
 type Clock struct {
-	ns  uint64
-	src string
-	obs obs.Observer
+	ns    uint64
+	src   string
+	obs   obs.Observer
+	spans obs.Spans
 }
 
 // Now returns the current virtual time in nanoseconds.
 func (c *Clock) Now() uint64 { return c.ns }
+
+// Spans returns the host attribution stack anchored on this clock. A nil
+// clock returns a nil (permanently disabled) stack.
+func (c *Clock) Spans() *obs.Spans {
+	if c == nil {
+		return nil
+	}
+	return &c.spans
+}
 
 // Advance moves virtual time forward by d nanoseconds. With an observer
 // attached the advance is emitted as a KindClockAdvance event — this is
@@ -78,7 +95,7 @@ func (c *Clock) Advance(d uint64) {
 	if c.obs != nil {
 		c.obs.Observe(obs.Event{
 			TS: c.ns, Kind: obs.KindClockAdvance, Source: c.src,
-			Span: obs.Current(), Cost: d,
+			Span: c.spans.Current(), Cost: d,
 		})
 	}
 }
@@ -87,15 +104,15 @@ func (c *Clock) Advance(d uint64) {
 func (c *Clock) advance(d uint64) { c.ns += d }
 
 // SetObserver attaches o to the clock; source names the emitting track.
-// Pass nil to detach. Like Space.SetObserver, attaching enables span
-// tracking and detaching disables it.
+// Pass nil to detach. Like Space.SetObserver, attaching enables this
+// host's span tracking and detaching disables it.
 func (c *Clock) SetObserver(source string, o obs.Observer) {
 	prev := c.obs
 	c.src, c.obs = source, o
 	if prev == nil && o != nil {
-		obs.Enable()
+		c.spans.Enable()
 	} else if prev != nil && o == nil {
-		obs.Disable()
+		c.spans.Disable()
 	}
 }
 
@@ -139,6 +156,7 @@ type Space struct {
 	maps  []mapping
 	stats Stats
 	obs   obs.Observer
+	spans *obs.Spans // the host attribution stack, shared via the clock
 
 	// StrictFaults makes accesses outside mapped ranges panic instead of
 	// reading as all-ones. Tests enable it to catch address bugs.
@@ -163,25 +181,31 @@ func (m mapping) source(space string) string {
 // NewSpace creates an address space using the given virtual clock and cost
 // model. The name appears in fault diagnostics.
 func NewSpace(name string, clock *Clock, costs Costs) *Space {
-	return &Space{name: name, clock: clock, costs: costs}
+	return &Space{name: name, clock: clock, costs: costs, spans: clock.Spans()}
 }
 
 // Clock returns the space's virtual clock.
 func (s *Space) Clock() *Clock { return s.clock }
 
+// Spans returns the host attribution stack this space stamps into its
+// events — the one anchored on its clock. Generated stubs and the exec
+// interpreter discover it through the obs.Spanner interface.
+func (s *Space) Spans() *obs.Spans { return s.spans }
+
 // SetObserver attaches o to the space: every access, block transfer and
 // fault is emitted as an obs.Event stamped with virtual time and the
 // current span attribution. Pass nil to detach. Attaching the first
-// observer enables goroutine-local span tracking; detaching disables it.
+// observer enables the host's span tracking; detaching disables it.
+// Both are per-host state: other hosts' spaces are unaffected.
 func (s *Space) SetObserver(o obs.Observer) {
 	s.mu.Lock()
 	prev := s.obs
 	s.obs = o
 	s.mu.Unlock()
 	if prev == nil && o != nil {
-		obs.Enable()
+		s.spans.Enable()
 	} else if prev != nil && o == nil {
-		obs.Disable()
+		s.spans.Disable()
 	}
 }
 
@@ -261,7 +285,7 @@ func (s *Space) fault(port uint32, width int, dir string) {
 	if o != nil {
 		o.Observe(obs.Event{
 			TS: s.clock.Now(), Kind: obs.KindFault, Source: s.name,
-			Span: obs.Current(), Addr: port, Width: width, Detail: dir,
+			Span: s.spans.Current(), Addr: port, Width: width, Detail: dir,
 		})
 	}
 	if strict {
@@ -312,7 +336,7 @@ func (s *Space) read(port uint32, width int) uint32 {
 	if o != nil {
 		o.Observe(obs.Event{
 			TS: ts, Kind: obs.KindPortRead, Source: m.source(s.name),
-			Span: obs.Current(), Addr: port, Width: width, Value: uint64(v), Cost: cost,
+			Span: s.spans.Current(), Addr: port, Width: width, Value: uint64(v), Cost: cost,
 		})
 	}
 	return v
@@ -330,7 +354,7 @@ func (s *Space) write(port uint32, width int, v uint32) {
 		// appears after its cause in the stream.
 		o.Observe(obs.Event{
 			TS: ts, Kind: obs.KindPortWrite, Source: m.source(s.name),
-			Span: obs.Current(), Addr: port, Width: width, Value: uint64(v), Cost: cost,
+			Span: s.spans.Current(), Addr: port, Width: width, Value: uint64(v), Cost: cost,
 		})
 	}
 	m.h.BusWrite(port-m.base, width, v)
@@ -374,7 +398,7 @@ func (s *Space) InBlock16(port uint32, buf []uint16) {
 	if o != nil {
 		o.Observe(obs.Event{
 			TS: ts, Kind: obs.KindBlockIn, Source: m.source(s.name),
-			Span: obs.Current(), Addr: port, Width: 16, Units: len(buf), Cost: cost,
+			Span: s.spans.Current(), Addr: port, Width: 16, Units: len(buf), Cost: cost,
 		})
 	}
 }
@@ -391,7 +415,7 @@ func (s *Space) OutBlock16(port uint32, buf []uint16) {
 	if o != nil {
 		o.Observe(obs.Event{
 			TS: ts, Kind: obs.KindBlockOut, Source: m.source(s.name),
-			Span: obs.Current(), Addr: port, Width: 16, Units: len(buf), Cost: cost,
+			Span: s.spans.Current(), Addr: port, Width: 16, Units: len(buf), Cost: cost,
 		})
 	}
 	for _, v := range buf {
@@ -414,7 +438,7 @@ func (s *Space) InBlock32(port uint32, buf []uint32) {
 	if o != nil {
 		o.Observe(obs.Event{
 			TS: ts, Kind: obs.KindBlockIn, Source: m.source(s.name),
-			Span: obs.Current(), Addr: port, Width: 32, Units: len(buf), Cost: cost,
+			Span: s.spans.Current(), Addr: port, Width: 32, Units: len(buf), Cost: cost,
 		})
 	}
 }
@@ -431,7 +455,7 @@ func (s *Space) OutBlock32(port uint32, buf []uint32) {
 	if o != nil {
 		o.Observe(obs.Event{
 			TS: ts, Kind: obs.KindBlockOut, Source: m.source(s.name),
-			Span: obs.Current(), Addr: port, Width: 32, Units: len(buf), Cost: cost,
+			Span: s.spans.Current(), Addr: port, Width: 32, Units: len(buf), Cost: cost,
 		})
 	}
 	for _, v := range buf {
@@ -471,7 +495,7 @@ func (l *IRQLine) emit(kind obs.Kind) {
 	if src == "" {
 		src = "irq"
 	}
-	l.Obs.Observe(obs.Event{TS: ts, Kind: kind, Source: src, Span: obs.Current(), Detail: src})
+	l.Obs.Observe(obs.Event{TS: ts, Kind: kind, Source: src, Span: l.Clock.Spans().Current(), Detail: src})
 }
 
 // Raise latches one interrupt.
@@ -519,15 +543,42 @@ func (l *IRQLine) Total() uint64 {
 
 // RAM is a Handler backed by a byte array: reads and writes behave like
 // little-endian memory. It doubles as scratch register files in tests.
+//
+// Accesses that reach past the end of Data are faults, not silent
+// truncations: a 16-bit read at len(Data)-1 used to return a half-composed
+// value with no book-keeping at all, which is exactly the kind of bug a
+// concurrent device farm turns from "weird number once" into corrupted
+// aggregate statistics. Every out-of-range access now increments Faults,
+// and Strict escalates it to a panic (the RAM twin of Space.StrictFaults).
+// Non-strict behavior is unchanged for compatibility: missing bytes read
+// as zero and writes to them are dropped.
 type RAM struct {
 	Data []byte
+
+	// Strict makes out-of-range accesses panic instead of partially
+	// completing. Hosts and tests enable it to catch address bugs.
+	Strict bool
+	// Faults counts accesses (reads and writes) that touched at least one
+	// byte outside Data. Not synchronized: RAM belongs to one host.
+	Faults uint64
 }
 
 // NewRAM allocates a RAM handler of the given size in bytes.
 func NewRAM(size int) *RAM { return &RAM{Data: make([]byte, size)} }
 
+// fault books one out-of-range access.
+func (r *RAM) fault(offset uint32, width int, dir string) {
+	r.Faults++
+	if r.Strict {
+		panic(fmt.Sprintf("bus: RAM %s%d at offset %#x overruns %d-byte backing", dir, width, offset, len(r.Data)))
+	}
+}
+
 // BusRead implements Handler.
 func (r *RAM) BusRead(offset uint32, width int) uint32 {
+	if int(offset)+width/8 > len(r.Data) || int(offset) < 0 {
+		r.fault(offset, width, "read")
+	}
 	var v uint32
 	for i := 0; i < width/8; i++ {
 		idx := int(offset) + i
@@ -540,6 +591,9 @@ func (r *RAM) BusRead(offset uint32, width int) uint32 {
 
 // BusWrite implements Handler.
 func (r *RAM) BusWrite(offset uint32, width int, v uint32) {
+	if int(offset)+width/8 > len(r.Data) || int(offset) < 0 {
+		r.fault(offset, width, "write")
+	}
 	for i := 0; i < width/8; i++ {
 		idx := int(offset) + i
 		if idx < len(r.Data) {
@@ -573,9 +627,10 @@ func (f FuncHandler) BusWrite(offset uint32, width int, v uint32) {
 // is a thin adapter binding the Handler plane to the obs event
 // vocabulary: recorded events are obs.Events with handler-relative Addr
 // and no timestamp (a Trace sees offsets, not the clock). Span
-// attribution is captured when tracking is enabled.
+// attribution is captured from Spans when one is wired and enabled.
 type Trace struct {
 	Inner  Handler
+	Spans  *obs.Spans // host attribution source; nil records no spans
 	Events []TraceEvent
 }
 
@@ -587,7 +642,7 @@ type TraceEvent = obs.Event
 func (t *Trace) BusRead(offset uint32, width int) uint32 {
 	v := t.Inner.BusRead(offset, width)
 	t.Events = append(t.Events, TraceEvent{
-		Kind: obs.KindPortRead, Span: obs.Current(),
+		Kind: obs.KindPortRead, Span: t.Spans.Current(),
 		Addr: offset, Width: width, Value: uint64(v),
 	})
 	return v
@@ -596,7 +651,7 @@ func (t *Trace) BusRead(offset uint32, width int) uint32 {
 // BusWrite implements Handler.
 func (t *Trace) BusWrite(offset uint32, width int, v uint32) {
 	t.Events = append(t.Events, TraceEvent{
-		Kind: obs.KindPortWrite, Span: obs.Current(),
+		Kind: obs.KindPortWrite, Span: t.Spans.Current(),
 		Addr: offset, Width: width, Value: uint64(v),
 	})
 	t.Inner.BusWrite(offset, width, v)

@@ -369,10 +369,10 @@ func TestObserverSpanAttribution(t *testing.T) {
 	s, _ := newSpace()
 	s.MustMap(0, 16, NewRAM(16))
 	ring := obs.NewRing(8)
-	s.SetObserver(ring) // enables span tracking
+	s.SetObserver(ring) // enables span tracking on the host's Spans
 	defer s.SetObserver(nil)
 
-	done := obs.Span("phase")
+	done := s.Spans().Span("phase")
 	s.Out8(0, 1)
 	done()
 	s.Out8(0, 2)
@@ -385,16 +385,99 @@ func TestObserverSpanAttribution(t *testing.T) {
 
 func TestSetObserverTogglesSpanTracking(t *testing.T) {
 	s, _ := newSpace()
-	if obs.Enabled() {
+	if s.Spans().Enabled() {
 		t.Fatal("span tracking on at test entry")
 	}
 	s.SetObserver(obs.Func(func(obs.Event) {}))
-	if !obs.Enabled() {
+	if !s.Spans().Enabled() {
 		t.Error("attaching an observer did not enable span tracking")
 	}
 	s.SetObserver(obs.Func(func(obs.Event) {})) // replace: no double-enable
 	s.SetObserver(nil)
-	if obs.Enabled() {
+	if s.Spans().Enabled() {
 		t.Error("detaching the observer did not disable span tracking")
+	}
+}
+
+// TestObserverSpanIsolationAcrossHosts pins the per-host refactor: an
+// observer on one space must not enable span tracking — or mix stacks —
+// on an unrelated space with its own clock.
+func TestObserverSpanIsolationAcrossHosts(t *testing.T) {
+	a, _ := newSpace()
+	b, _ := newSpace()
+	a.MustMap(0, 16, NewRAM(16))
+	b.MustMap(0, 16, NewRAM(16))
+	ring := obs.NewRing(8)
+	a.SetObserver(ring)
+	defer a.SetObserver(nil)
+
+	if b.Spans().Enabled() {
+		t.Fatal("observer on host A enabled spans on host B")
+	}
+	defer a.Spans().Span("a.phase")()
+	b.Spans().Span("b.phase")() // disabled: must not record
+	if got := b.Spans().Current(); got != "" {
+		t.Errorf("unobserved host recorded span %q", got)
+	}
+	a.Out8(0, 1)
+	ev := ring.Events()
+	if len(ev) != 1 || ev[0].Span != "a.phase" {
+		t.Fatalf("observed host attribution = %+v", ev)
+	}
+}
+
+// ramBoundaryCase drives one access width at the last offset where the
+// access no longer fits, pinning the fault book-keeping for the bug where
+// out-of-range bytes were silently dropped with no fault recorded.
+func TestRAMOutOfRangeFaults(t *testing.T) {
+	cases := []struct {
+		name   string
+		access func(s *Space)
+	}{
+		{"read8-at-len", func(s *Space) { s.In8(16) }},
+		{"read16-at-len-1", func(s *Space) { s.In16(15) }},
+		{"read32-at-len-3", func(s *Space) { s.In32(13) }},
+		{"write8-at-len", func(s *Space) { s.Out8(16, 0xff) }},
+		{"write16-at-len-1", func(s *Space) { s.Out16(15, 0xffff) }},
+		{"write32-at-len-3", func(s *Space) { s.Out32(13, 0xffffffff) }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s, _ := newSpace()
+			ram := NewRAM(16)
+			s.MustMap(0, 32, ram) // window wider than backing: RAM must fault
+			tc.access(s)
+			if ram.Faults != 1 {
+				t.Errorf("Faults = %d, want 1", ram.Faults)
+			}
+		})
+	}
+}
+
+func TestRAMOutOfRangeStrictPanics(t *testing.T) {
+	ram := NewRAM(16)
+	ram.Strict = true
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Strict RAM overrun did not panic")
+		}
+		if ram.Faults != 1 {
+			t.Errorf("Faults = %d, want 1", ram.Faults)
+		}
+	}()
+	ram.BusRead(15, 16)
+}
+
+func TestRAMInRangeBoundaryNoFault(t *testing.T) {
+	ram := NewRAM(16)
+	ram.Strict = true
+	ram.BusWrite(15, 8, 0xab)    // last byte: fits
+	ram.BusWrite(14, 16, 0x1234) // last two bytes: fits
+	ram.BusWrite(12, 32, 0xcafe) // last four bytes: fits
+	_ = ram.BusRead(15, 8)
+	_ = ram.BusRead(14, 16)
+	_ = ram.BusRead(12, 32)
+	if ram.Faults != 0 {
+		t.Errorf("Faults = %d on in-range boundary accesses", ram.Faults)
 	}
 }

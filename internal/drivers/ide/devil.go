@@ -6,7 +6,6 @@ import (
 
 	genide "repro/internal/gen/ide"
 	genpiix4 "repro/internal/gen/piix4"
-	"repro/internal/obs"
 )
 
 // Devil is the Devil-based driver: every device access goes through the
@@ -35,7 +34,7 @@ func (d *Devil) Name() string { return "devil" }
 
 // Init implements Driver.
 func (d *Devil) Init() error {
-	defer obs.Span("init")()
+	defer d.p.span("init")()
 	if d.cfg.Mode == PIO && d.cfg.SectorsPerIRQ > 1 {
 		d.dev.SetNsect(uint8(d.cfg.SectorsPerIRQ))
 		d.dev.SetCommand(genide.CommandSETMULTIPLE)
@@ -110,7 +109,7 @@ func (d *Devil) ReadSectors(lba int, dst []byte) error {
 }
 
 func (d *Devil) readPIO(lba int, dst []byte) error {
-	defer obs.Span("read.pio")()
+	defer d.p.span("read.pio")()
 	count := len(dst) / sectorSize
 	cmd := genide.CommandREADSECTORS
 	per := 1
@@ -227,7 +226,7 @@ func (d *Devil) WriteSectors(lba int, src []byte) error {
 }
 
 func (d *Devil) writePIO(lba int, src []byte) error {
-	defer obs.Span("write.pio")()
+	defer d.p.span("write.pio")()
 	count := len(src) / sectorSize
 	cmd := genide.CommandWRITESECTORS
 	per := 1
@@ -284,7 +283,7 @@ func (d *Devil) dma(lba, count int, read bool) error {
 		cmd = genide.CommandREADDMA
 		phase = "read.dma"
 	}
-	defer obs.Span(phase)()
+	defer d.p.span(phase)()
 	d.bm.SetBmAckIrq(true)
 	d.bm.SetBmAckErr(true)
 	d.bm.SetPrdAddr(d.p.DMAAddr)

@@ -3,8 +3,6 @@ package ide
 import (
 	"encoding/binary"
 	"fmt"
-
-	"repro/internal/obs"
 )
 
 // The magic constants a hand-crafted driver carries around — offsets and
@@ -53,7 +51,7 @@ func (d *Hand) Name() string { return "standard" }
 
 // Init implements Driver.
 func (d *Hand) Init() error {
-	defer obs.Span("init")()
+	defer d.p.span("init")()
 	io := d.p.Space
 	if d.cfg.Mode == PIO && d.cfg.SectorsPerIRQ > 1 {
 		io.Out8(d.p.CmdBase+hwNSect, uint8(d.cfg.SectorsPerIRQ))
@@ -107,7 +105,7 @@ func (d *Hand) ReadSectors(lba int, dst []byte) error {
 }
 
 func (d *Hand) readPIO(lba int, dst []byte) error {
-	defer obs.Span("read.pio")()
+	defer d.p.span("read.pio")()
 	io := d.p.Space
 	count := len(dst) / sectorSize
 	cmd := uint8(hwCmdRead)
@@ -231,7 +229,7 @@ func (d *Hand) WriteSectors(lba int, src []byte) error {
 }
 
 func (d *Hand) writePIO(lba int, src []byte) error {
-	defer obs.Span("write.pio")()
+	defer d.p.span("write.pio")()
 	io := d.p.Space
 	count := len(src) / sectorSize
 	cmd := uint8(hwCmdWrite)
@@ -289,7 +287,7 @@ func (d *Hand) dma(lba, count int, read bool) error {
 		cmd = hwCmdReadDMA
 		phase = "read.dma"
 	}
-	defer obs.Span(phase)()
+	defer d.p.span(phase)()
 	io.Out8(d.p.BMBase+2, hwBMStIRQ|hwBMStErr) // ack stale status
 	io.Out32(d.p.BMBase+4, d.p.DMAAddr)
 	io.Out8(d.p.BMBase+0, dir)

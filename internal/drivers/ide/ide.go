@@ -72,6 +72,10 @@ type Ports struct {
 	DMAAddr uint32       // physical address of the DMA bounce buffer in Mem
 }
 
+// span pushes a driver phase onto the host's attribution stack (the one
+// anchored on the port space's clock) and returns the pop.
+func (p *Ports) span(name string) func() { return p.Space.Spans().Span(name) }
+
 // waitIRQ consumes one pending interrupt and charges its latency. The
 // simulator raises interrupts synchronously during port accesses, so a
 // missing interrupt indicates a protocol bug, not a timing race.

@@ -2,7 +2,6 @@ package permedia2
 
 import (
 	gen "repro/internal/gen/permedia2"
-	"repro/internal/obs"
 )
 
 // Devil is the Devil-based driver: all accesses go through the stubs
@@ -10,13 +9,14 @@ import (
 // and write-config registers are distinct device variables, so programming
 // them costs one stub call each — the +2 I/O of Tables 3 and 4.
 type Devil struct {
+	p   Ports
 	dev *gen.Device
 	bpp int
 }
 
 // NewDevil builds the Devil-based driver on the generated stubs.
 func NewDevil(p Ports) *Devil {
-	return &Devil{dev: gen.New(p.Space, p.Base)}
+	return &Devil{p: p, dev: gen.New(p.Space, p.Base)}
 }
 
 // Name implements Driver.
@@ -24,7 +24,7 @@ func (d *Devil) Name() string { return "devil" }
 
 // Init implements Driver.
 func (d *Devil) Init(bpp int) error {
-	defer obs.Span("init")()
+	defer d.p.span("init")()
 	if _, err := depthCode(bpp); err != nil {
 		return err
 	}
@@ -58,7 +58,7 @@ func (d *Devil) waitFIFO(n int) {
 // FillRect implements Driver: 3 waits + 17 writes at 8/16/32 bpp,
 // 2 waits + 10 writes at 24 bpp.
 func (d *Devil) FillRect(x, y, w, h int, color uint32) {
-	defer obs.Span("fillrect")()
+	defer d.p.span("fillrect")()
 	dev := d.dev
 	if d.bpp == 24 {
 		d.waitFIFO(5)
@@ -100,7 +100,7 @@ func (d *Devil) FillRect(x, y, w, h int, color uint32) {
 // CopyRect implements Driver: 3 waits + 17 writes at 8/16 bpp,
 // 2 waits + 9 writes at 24/32 bpp.
 func (d *Devil) CopyRect(sx, sy, dx, dy, w, h int) {
-	defer obs.Span("copyrect")()
+	defer d.p.span("copyrect")()
 	dev := d.dev
 	if d.bpp == 24 || d.bpp == 32 {
 		d.waitFIFO(4)

@@ -1,7 +1,5 @@
 package permedia2
 
-import "repro/internal/obs"
-
 // Magic register offsets and encodings, transcribed from the datasheet —
 // the layer the Devil specification replaces.
 const (
@@ -44,7 +42,7 @@ func (d *Hand) Name() string { return "standard" }
 
 // Init implements Driver.
 func (d *Hand) Init(bpp int) error {
-	defer obs.Span("init")()
+	defer d.p.span("init")()
 	code, err := depthCode(bpp)
 	if err != nil {
 		return err
@@ -66,7 +64,7 @@ func (d *Hand) waitFIFO(n int) {
 // FillRect implements Driver. The 8/16/32 bpp path issues 3 wait loops and
 // 15 writes; the packed 24 bpp path 2 wait loops and 10 writes.
 func (d *Hand) FillRect(x, y, w, h int, color uint32) {
-	defer obs.Span("fillrect")()
+	defer d.p.span("fillrect")()
 	io := d.p.Space
 	base := d.p.Base
 	if d.bpp == 24 {
@@ -108,7 +106,7 @@ func (d *Hand) FillRect(x, y, w, h int, color uint32) {
 // CopyRect implements Driver. 8/16 bpp: 3 waits + 15 writes; 24/32 bpp:
 // 2 waits + 9 writes.
 func (d *Hand) CopyRect(sx, sy, dx, dy, w, h int) {
-	defer obs.Span("copyrect")()
+	defer d.p.span("copyrect")()
 	io := d.p.Space
 	base := d.p.Base
 	if d.bpp == 24 || d.bpp == 32 {

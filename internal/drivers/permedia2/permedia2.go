@@ -58,3 +58,7 @@ type Ports struct {
 	Space *bus.Space // memory-mapped register window space
 	Base  uint32     // window base address
 }
+
+// span pushes a driver phase onto the host's attribution stack (the one
+// anchored on the register window's clock) and returns the pop.
+func (p *Ports) span(name string) func() { return p.Space.Spans().Span(name) }

@@ -6,7 +6,6 @@ import (
 	gencs "repro/internal/gen/cs4236"
 	gendma "repro/internal/gen/dma8237"
 	genpic "repro/internal/gen/pic8259"
-	"repro/internal/obs"
 )
 
 // Devil is the Devil-based driver: every device access goes through the
@@ -61,7 +60,7 @@ func rateSym(hz int) (gencs.RateVal, error) {
 // write, and the codec format/rate programming is one structure flush of
 // the pfmt fields into I8.
 func (d *Devil) Init() error {
-	defer obs.Span("init")()
+	defer d.p.span("init")()
 	d.pic.SetLirq(0)
 	d.pic.SetLtim(false)
 	d.pic.SetAdi(false)
@@ -96,7 +95,7 @@ func (d *Devil) Init() error {
 // serialization the specification makes unskippable (one more I/O
 // operation than the hand driver's shared-flip-flop shortcut).
 func (d *Devil) arm() {
-	defer obs.Span("play.arm")()
+	defer d.p.span("play.arm")()
 	d.dma.SetMaskChan(0)
 	d.dma.SetMaskOn(true)
 	d.dma.WriteSingleMask()
@@ -117,7 +116,7 @@ func (d *Devil) arm() {
 // (or mask the channel after the final revolution), clear the flag, and
 // send the specific EOI.
 func (d *Devil) isr(buf []byte, rev, revs int) error {
-	defer obs.Span("play.isr")()
+	defer d.p.span("play.isr")()
 	vec, ok := d.p.Ack()
 	if !ok || vec != d.p.vector() {
 		return fmt.Errorf("sound: spurious interrupt vector %#x", vec)
@@ -152,7 +151,7 @@ func (d *Devil) Play(clip []byte) error {
 	}
 	copy(d.p.Mem.Data[d.p.RingAddr:], buf[:d.cfg.RingBytes])
 	d.arm()
-	obs.WithSpan("play.start", func() { d.codec.SetPen(true) })
+	d.p.withSpan("play.start", func() { d.codec.SetPen(true) })
 	for rev := 1; rev <= revs; rev++ {
 		if err := d.p.waitIRQ(); err != nil {
 			return err
@@ -162,7 +161,7 @@ func (d *Devil) Play(clip []byte) error {
 		}
 	}
 	// Drain the FIFO tail through the DAC, then stop it.
-	obs.WithSpan("play.stop", func() {
+	d.p.withSpan("play.stop", func() {
 		for d.p.Pump(pumpBurst) > 0 {
 		}
 		d.codec.SetPen(false)

@@ -1,10 +1,6 @@
 package sound
 
-import (
-	"fmt"
-
-	"repro/internal/obs"
-)
+import "fmt"
 
 // The magic constants a hand-crafted sound driver carries around — WSS
 // indexed-register numbers, 8237 mode encodings, and 8259 command words
@@ -55,7 +51,7 @@ func (d *Hand) Name() string { return "standard" }
 
 // Init implements Driver.
 func (d *Hand) Init() error {
-	defer obs.Span("init")()
+	defer d.p.span("init")()
 	io := d.p.Space
 	io.Out8(d.p.PICBase+hwPICCmd, hwICW1)
 	io.Out8(d.p.PICBase+hwPICData, d.p.VecBase<<3) // ICW2
@@ -84,7 +80,7 @@ func (d *Hand) Init() error {
 // stubs, and exactly the interleaving hazard §2.2 describes when someone
 // later inserts an access in the middle.
 func (d *Hand) arm() {
-	defer obs.Span("play.arm")()
+	defer d.p.span("play.arm")()
 	io := d.p.Space
 	io.Out8(d.p.DMABase+hwDMAMask, hwDMAMaskOn|0)
 	io.Out8(d.p.DMABase+hwDMAMode, hwDMAModePlay)
@@ -100,7 +96,7 @@ func (d *Hand) arm() {
 // isr services one terminal-count interrupt with the same device protocol
 // as the Devil variant (and the same I/O-operation count on this path).
 func (d *Hand) isr(buf []byte, rev, revs int) error {
-	defer obs.Span("play.isr")()
+	defer d.p.span("play.isr")()
 	io := d.p.Space
 	vec, ok := d.p.Ack()
 	if !ok || vec != d.p.vector() {
@@ -135,7 +131,7 @@ func (d *Hand) Play(clip []byte) error {
 	io := d.p.Space
 	copy(d.p.Mem.Data[d.p.RingAddr:], buf[:d.cfg.RingBytes])
 	d.arm()
-	obs.WithSpan("play.start", func() {
+	d.p.withSpan("play.start", func() {
 		io.Out8(d.p.WSSBase+hwWSSIndex, hwRegIface)
 		io.Out8(d.p.WSSBase+hwWSSData, hwPEN)
 	})
@@ -147,7 +143,7 @@ func (d *Hand) Play(clip []byte) error {
 			return err
 		}
 	}
-	obs.WithSpan("play.stop", func() {
+	d.p.withSpan("play.stop", func() {
 		for d.p.Pump(pumpBurst) > 0 {
 		}
 		io.Out8(d.p.WSSBase+hwWSSIndex, hwRegIface)

@@ -119,6 +119,14 @@ type Ports struct {
 // line once initialized.
 func (p *Ports) vector() uint8 { return p.VecBase<<3 | uint8(p.IRQLine&7) }
 
+// span pushes a driver phase onto the host's attribution stack (the one
+// anchored on the port space's clock) and returns the pop. Near-free when
+// the host is unobserved, and private to this host when it is.
+func (p *Ports) span(name string) func() { return p.Space.Spans().Span(name) }
+
+// withSpan runs fn under a phase span.
+func (p *Ports) withSpan(name string, fn func()) { p.Space.Spans().With(name, fn) }
+
 // waitIRQ runs the hardware until the next interrupt arrives, then charges
 // the interrupt latency. The pipeline streams synchronously: a pump step
 // that makes no progress with no interrupt pending is a stall (FIFO
@@ -127,7 +135,7 @@ func (p *Ports) waitIRQ() error {
 	// "play.wait" attributes everything the hardware does while the CPU
 	// idles — sample-clock advances, DMA terminal count, the IRQ raise —
 	// plus the interrupt-latency charge, identically for both drivers.
-	defer obs.Span("play.wait")()
+	defer p.span("play.wait")()
 	for !p.IRQ.Consume() {
 		if p.Pump == nil {
 			return fmt.Errorf("sound: playback stalled waiting for terminal count")

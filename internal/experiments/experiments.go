@@ -23,6 +23,7 @@ import (
 	idedrv "repro/internal/drivers/ide"
 	pmdrv "repro/internal/drivers/permedia2"
 	snddrv "repro/internal/drivers/sound"
+	"repro/internal/farm"
 	"repro/internal/mutation"
 	"repro/internal/obs"
 	simide "repro/internal/sim/ide"
@@ -398,6 +399,79 @@ func Table5(revs int) (string, error) {
 	for _, r := range rows {
 		fmt.Fprintf(&b, "%-32s %12d %10.4f %12d %10.4f %7.0f%%\n",
 			r.Config, r.StdOps, r.StdMBs, r.DevilOps, r.DevilMBs, r.Ratio*100)
+	}
+	return b.String(), nil
+}
+
+// ---------------------------------------------------------------------------
+// Table 6
+
+// FarmRow is one measured row of Table 6: one fleet run at one worker
+// count with one driver variant.
+type FarmRow struct {
+	Variant farm.Variant
+	Workers int
+	Hosts   int
+	Ops     uint64  // fleet total port/MMIO operations
+	Bytes   uint64  // fleet total payload bytes
+	OpsRate float64 // aggregate ops/s over the fleet makespan
+	MBs     float64 // aggregate MB/s over the fleet makespan
+	Speedup float64 // MBs relative to the same variant's 1-worker row
+	WallNS  int64   // informational physical time of the pool
+}
+
+// Table6Workers is the worker-count sweep of Table 6.
+var Table6Workers = []int{1, 2, 4, 8, 16}
+
+// Table6Hosts is the default fleet size; it is a multiple of every entry
+// in Table6Workers times the three workload families, so each worker's
+// round-robin share is a balanced mix and makespan scales as 1/W.
+const Table6Hosts = 48
+
+// Table6Rows runs the device-farm scaling experiment: a fleet of hosts
+// (IDE, Permedia2, and sound workloads in equal measure) executed at each
+// worker count, hand and devil drivers separately. Aggregate throughput
+// is defined on the virtual-time makespan (see package farm); per-host
+// results are deterministic, so only the division of work changes with W.
+func Table6Rows(hosts int) ([]FarmRow, error) {
+	var rows []FarmRow
+	for _, v := range []farm.Variant{farm.Hand, farm.Devil} {
+		var base float64
+		for _, w := range Table6Workers {
+			f := farm.RunFleet(farm.DefaultFleet(hosts, v), w)
+			if err := f.Err(); err != nil {
+				return nil, fmt.Errorf("table 6 %s W=%d: %w", v, w, err)
+			}
+			row := FarmRow{
+				Variant: v, Workers: w, Hosts: hosts,
+				Ops: f.Ops, Bytes: f.Bytes,
+				OpsRate: f.OpsPerSec(), MBs: f.MBPerSec(), WallNS: f.WallNS,
+			}
+			if w == 1 {
+				base = row.MBs
+			}
+			if base > 0 {
+				row.Speedup = row.MBs / base
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+// Table6 renders the farm scaling experiment.
+func Table6(hosts int) (string, error) {
+	rows, err := Table6Rows(hosts)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 6: device-farm scaling (%d hosts: IDE DMA + Permedia2 fill + sound playback, aggregate over virtual-time makespan)\n\n", hosts)
+	fmt.Fprintf(&b, "%-8s %8s %14s %12s %12s %9s\n",
+		"Driver", "Workers", "I/O ops", "Mops/s", "MB/s", "Speedup")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-8s %8d %14d %12.2f %12.2f %8.1fx\n",
+			r.Variant, r.Workers, r.Ops, r.OpsRate/1e6, r.MBs, r.Speedup)
 	}
 	return b.String(), nil
 }

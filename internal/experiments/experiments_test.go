@@ -156,6 +156,53 @@ func TestTable5Rendering(t *testing.T) {
 	}
 }
 
+func TestTable6Shape(t *testing.T) {
+	rows, err := Table6Rows(Table6Hosts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 2 * len(Table6Workers); len(rows) != want {
+		t.Fatalf("rows = %d, want %d (2 variants x %d worker counts)", len(rows), want, len(Table6Workers))
+	}
+	for _, r := range rows {
+		if r.Ops == 0 || r.Bytes == 0 || r.MBs <= 0 || r.OpsRate <= 0 {
+			t.Errorf("%s W=%d: empty row %+v", r.Variant, r.Workers, r)
+		}
+	}
+	// The acceptance bar: aggregate throughput at 8 workers beats the
+	// 1-worker run by more than 4x, per variant. The balanced fleet in
+	// fact scales linearly, so pin ~8x with slack for rounding.
+	for i, r := range rows {
+		if r.Workers != 8 {
+			continue
+		}
+		base := rows[i-3] // workers sweep is {1,2,4,8,16}; W=1 is three rows back
+		if base.Workers != 1 || base.Variant != r.Variant {
+			t.Fatalf("sweep order changed: base row %+v for %+v", base, r)
+		}
+		speedup := r.MBs / base.MBs
+		if speedup <= 4 {
+			t.Errorf("%s: 8-worker throughput %.2fx the 1-worker run, want > 4x", r.Variant, speedup)
+		}
+		// Totals are worker-count invariant: same hosts, same virtual work.
+		if r.Ops != base.Ops || r.Bytes != base.Bytes {
+			t.Errorf("%s: totals drift with workers: %+v vs %+v", r.Variant, r, base)
+		}
+	}
+}
+
+func TestTable6Rendering(t *testing.T) {
+	out, err := Table6(12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Table 6", "device-farm scaling", "devil", "hand", "Speedup"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table 6 output missing %q", want)
+		}
+	}
+}
+
 func TestCaptureSoundAttribution(t *testing.T) {
 	// The Table 5 refill trace, asserted on attributed events instead of
 	// raw counters: every port operation must carry a driver phase, every

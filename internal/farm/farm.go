@@ -1,0 +1,294 @@
+// Package farm runs fleets of simulated hosts concurrently.
+//
+// A Host is one self-contained machine: its own virtual clock, port and
+// memory spaces, IRQ lines, device models, and driver. Nothing in a host
+// points at process-global mutable state — span attribution lives on the
+// host's clock (obs.Spans), statistics live on its Space, and fault
+// counters live on its RAM — so thousands of hosts can run on a goroutine
+// pool without synchronizing with each other, and an observer attached to
+// one host costs every other host nothing.
+//
+// RunFleet executes a fleet over a fixed worker pool with a static
+// round-robin assignment (host i runs on worker i%W). Because every host
+// is deterministic in virtual time, the per-host Results are identical
+// whatever the worker count; only the division of wall-clock work
+// changes. Aggregate fleet throughput is therefore defined on virtual
+// time: the fleet makespan is the largest per-worker sum of host virtual
+// times — the simulated time at which the slowest worker's queue drains —
+// and ops/s and MB/s divide fleet totals by it. Wall time is reported
+// alongside as an informational figure only (it depends on the physical
+// core count, which the simulation does not model).
+package farm
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/bus"
+	idedrv "repro/internal/drivers/ide"
+	pmdrv "repro/internal/drivers/permedia2"
+	snddrv "repro/internal/drivers/sound"
+	"repro/internal/obs"
+	simide "repro/internal/sim/ide"
+	simpm "repro/internal/sim/permedia2"
+)
+
+// Variant selects which driver implementation a host runs.
+type Variant int
+
+// The two driver families every workload ships.
+const (
+	Hand  Variant = iota // hand-crafted driver, raw port I/O
+	Devil                // driver built on the generated Devil stubs
+)
+
+// String implements fmt.Stringer.
+func (v Variant) String() string {
+	if v == Devil {
+		return "devil"
+	}
+	return "hand"
+}
+
+// Host is one self-contained simulated machine, ready to run its
+// workload. Construct hosts with NewIDEHost, NewGfxHost, or NewSoundHost;
+// the value owns every piece of mutable state it touches, so distinct
+// hosts may run concurrently without any synchronization.
+type Host struct {
+	Name  string
+	Clock *bus.Clock
+	Space *bus.Space
+
+	// work drives the host's driver through one complete workload and
+	// returns the number of payload bytes moved.
+	work func() (uint64, error)
+}
+
+// Observe attaches o to the host's port space (and, through the space's
+// clock, enables span attribution for this host only). Pass nil to
+// detach.
+func (h *Host) Observe(o obs.Observer) { h.Space.SetObserver(o) }
+
+// Result is the outcome of one host's workload.
+type Result struct {
+	Name   string
+	Ops    uint64    // port/MMIO operations issued by the driver
+	Bytes  uint64    // payload bytes moved (sectors read, pixels drawn, samples played)
+	VirtNS uint64    // virtual nanoseconds the workload took on the host's clock
+	Stats  bus.Stats // full per-host operation counters
+	Err    error
+}
+
+// Run executes the host's workload to completion and returns its Result.
+// Statistics are reset at entry so back-to-back runs measure cleanly.
+func (h *Host) Run() Result {
+	h.Space.ResetStats()
+	start := h.Clock.Now()
+	n, err := h.work()
+	r := Result{
+		Name:   h.Name,
+		Bytes:  n,
+		VirtNS: h.Clock.Now() - start,
+		Stats:  h.Space.Stats(),
+		Err:    err,
+	}
+	r.Ops = r.Stats.Ops()
+	return r
+}
+
+// ideBases mirrors the conventional legacy addresses used by the
+// experiments package.
+const (
+	ideCmdBase = 0x1f0
+	ideCtlBase = 0x3f6
+	ideBMBase  = 0xc000
+	ideDMAAddr = 0x10000
+	pmBase     = 0xf000_0000
+)
+
+// NewIDEHost builds a host that DMA-reads sectors sequential sectors from
+// its own disk model and verifies the transfer landed.
+func NewIDEHost(name string, v Variant, sectors int) *Host {
+	clk := &bus.Clock{}
+	space := bus.NewSpace("io", clk, bus.DefaultPortCosts())
+	mem := bus.NewRAM(ideDMAAddr + (sectors+4)*simide.SectorSize)
+	disk := simide.New(clk, sectors+64, mem)
+	irq := &bus.IRQLine{}
+	disk.IRQ = irq.Raise
+	disk.Attach(space, ideCmdBase, ideCtlBase, ideBMBase)
+	cfg := idedrv.Config{Mode: idedrv.DMA}
+	p := idedrv.Ports{
+		Space: space, Clock: clk, Mem: mem, IRQ: irq,
+		CmdBase: ideCmdBase, CtlBase: ideCtlBase, BMBase: ideBMBase, DMAAddr: ideDMAAddr,
+	}
+	var drv idedrv.Driver
+	if v == Devil {
+		drv = idedrv.NewDevil(p, cfg)
+	} else {
+		drv = idedrv.NewHand(p, cfg)
+	}
+	return &Host{Name: name, Clock: clk, Space: space, work: func() (uint64, error) {
+		if err := drv.Init(); err != nil {
+			return 0, err
+		}
+		buf := make([]byte, sectors*simide.SectorSize)
+		if err := drv.ReadSectors(0, buf); err != nil {
+			return 0, err
+		}
+		return uint64(len(buf)), nil
+	}}
+}
+
+// NewGfxHost builds a host that fills n size×size rectangles on its own
+// Permedia2 model at 8 bpp and drains the engine FIFO.
+func NewGfxHost(name string, v Variant, size, n int) *Host {
+	clk := &bus.Clock{}
+	space := bus.NewSpace("mmio", clk, bus.DefaultMemCosts())
+	chip := simpm.New(clk, 1024, 768)
+	space.MustMap(pmBase, 0x100, chip)
+	var drv pmdrv.Driver
+	p := pmdrv.Ports{Space: space, Base: pmBase}
+	if v == Devil {
+		drv = pmdrv.NewDevil(p)
+	} else {
+		drv = pmdrv.NewHand(p)
+	}
+	return &Host{Name: name, Clock: clk, Space: space, work: func() (uint64, error) {
+		if err := drv.Init(8); err != nil {
+			return 0, err
+		}
+		for i := 0; i < n; i++ {
+			drv.FillRect(0, 0, size, size, uint32(i))
+		}
+		// Drain: the measurement covers drawn primitives, not issued ones.
+		for space.In32(pmBase+simpm.RegInFIFOSpace)&0x3f != simpm.FIFODepth {
+		}
+		return uint64(n * size * size), nil
+	}}
+}
+
+// NewSoundHost builds a host that streams a generated clip of revs ring
+// revolutions through its own codec+DMA+PIC rig and verifies the DAC
+// consumed exactly the clip.
+func NewSoundHost(name string, v Variant, cfg snddrv.Config, revs int) *Host {
+	rig := snddrv.NewRig()
+	var drv snddrv.Driver
+	if v == Devil {
+		drv = snddrv.NewDevil(rig.Ports(), cfg)
+	} else {
+		drv = snddrv.NewHand(rig.Ports(), cfg)
+	}
+	return &Host{Name: name, Clock: rig.Clock, Space: rig.Space, work: func() (uint64, error) {
+		if err := drv.Init(); err != nil {
+			return 0, err
+		}
+		clip := make([]byte, cfg.RingBytes*revs)
+		for i := range clip {
+			clip[i] = byte(i>>4) ^ byte(i*11)
+		}
+		if err := drv.Play(clip); err != nil {
+			return 0, err
+		}
+		if played := rig.Codec.Played(); !bytes.Equal(played, clip) {
+			return 0, fmt.Errorf("farm: DAC consumed wrong data (%d of %d bytes)", len(played), len(clip))
+		}
+		if rig.Codec.Underrun() {
+			return 0, fmt.Errorf("farm: DAC underran")
+		}
+		return uint64(len(clip)), nil
+	}}
+}
+
+// DefaultFleet builds n hosts of the given variant cycling through the
+// three workload families (IDE DMA read, Permedia2 fill, sound playback)
+// with deliberately small per-host workloads. Cycling by host index keeps
+// every round-robin worker assignment with W | n balanced, so fleet
+// makespan scales as 1/W.
+func DefaultFleet(n int, v Variant) []*Host {
+	hosts := make([]*Host, n)
+	for i := range hosts {
+		switch i % 3 {
+		case 0:
+			hosts[i] = NewIDEHost(fmt.Sprintf("ide-%s-%d", v, i), v, 64)
+		case 1:
+			hosts[i] = NewGfxHost(fmt.Sprintf("gfx-%s-%d", v, i), v, 64, 32)
+		default:
+			hosts[i] = NewSoundHost(fmt.Sprintf("snd-%s-%d", v, i), v,
+				snddrv.Config{Rate: 22050, RingBytes: 512}, 4)
+		}
+	}
+	return hosts
+}
+
+// FleetResult aggregates a RunFleet execution.
+type FleetResult struct {
+	Hosts      []Result // per-host outcomes, in fleet order
+	Workers    int
+	Ops, Bytes uint64 // fleet totals
+	MakespanNS uint64 // max over workers of the sum of their hosts' VirtNS
+	WallNS     int64  // informational: physical time the pool took
+}
+
+// OpsPerSec is the fleet's aggregate operation rate over the makespan.
+func (f FleetResult) OpsPerSec() float64 {
+	if f.MakespanNS == 0 {
+		return 0
+	}
+	return float64(f.Ops) / (float64(f.MakespanNS) / 1e9)
+}
+
+// MBPerSec is the fleet's aggregate payload throughput over the makespan.
+func (f FleetResult) MBPerSec() float64 {
+	if f.MakespanNS == 0 {
+		return 0
+	}
+	return float64(f.Bytes) / (float64(f.MakespanNS) / 1e9) / 1e6
+}
+
+// Err returns the first host error in fleet order, if any.
+func (f FleetResult) Err() error {
+	for _, r := range f.Hosts {
+		if r.Err != nil {
+			return fmt.Errorf("host %s: %w", r.Name, r.Err)
+		}
+	}
+	return nil
+}
+
+// RunFleet executes every host on a pool of workers goroutines with the
+// static assignment host i → worker i%workers, and aggregates the
+// results. Each worker runs its hosts sequentially, so the fleet makespan
+// is the largest per-worker virtual-time total.
+func RunFleet(hosts []*Host, workers int) FleetResult {
+	if workers < 1 {
+		workers = 1
+	}
+	results := make([]Result, len(hosts))
+	wallStart := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < len(hosts); i += workers {
+				results[i] = hosts[i].Run()
+			}
+		}(w)
+	}
+	wg.Wait()
+	f := FleetResult{Hosts: results, Workers: workers, WallNS: int64(time.Since(wallStart))}
+	worker := make([]uint64, workers)
+	for i, r := range results {
+		f.Ops += r.Ops
+		f.Bytes += r.Bytes
+		worker[i%workers] += r.VirtNS
+	}
+	for _, ns := range worker {
+		if ns > f.MakespanNS {
+			f.MakespanNS = ns
+		}
+	}
+	return f
+}

@@ -1,0 +1,125 @@
+package farm
+
+import (
+	"testing"
+
+	snddrv "repro/internal/drivers/sound"
+	"repro/internal/obs"
+)
+
+// TestFleetDeterminism is the -race stress test for host isolation: a
+// fleet of N hosts over M workers must produce per-host Stats and
+// virtual-time totals identical to running each host's twin alone. Any
+// shared mutable state between hosts — a global span map, a shared
+// clock, a common fault counter — shows up as either a race report or a
+// diverging Result.
+func TestFleetDeterminism(t *testing.T) {
+	const n = 24
+	for _, v := range []Variant{Hand, Devil} {
+		solo := make([]Result, n)
+		for i, h := range DefaultFleet(n, v) {
+			solo[i] = h.Run()
+			if solo[i].Err != nil {
+				t.Fatalf("%s solo: %v", solo[i].Name, solo[i].Err)
+			}
+		}
+		for _, workers := range []int{1, 3, 8} {
+			fleet := RunFleet(DefaultFleet(n, v), workers)
+			if err := fleet.Err(); err != nil {
+				t.Fatalf("%s fleet W=%d: %v", v, workers, err)
+			}
+			for i, r := range fleet.Hosts {
+				if r != solo[i] {
+					t.Errorf("%s W=%d host %d: fleet %+v != solo %+v", v, workers, i, r, solo[i])
+				}
+			}
+		}
+	}
+}
+
+// TestFleetObservers attaches a per-host observer to every host in a
+// concurrent fleet and checks each host's event stream carries only that
+// host's virtual timestamps (monotone, ending at the host's clock).
+func TestFleetObservers(t *testing.T) {
+	const n = 9
+	hosts := DefaultFleet(n, Devil)
+	rings := make([]*obs.Ring, n)
+	for i, h := range hosts {
+		rings[i] = obs.NewRing(1 << 14)
+		h.Observe(rings[i])
+	}
+	fleet := RunFleet(hosts, 4)
+	if err := fleet.Err(); err != nil {
+		t.Fatal(err)
+	}
+	for i, ring := range rings {
+		ev := ring.Events()
+		if len(ev) == 0 {
+			t.Errorf("host %d: observer saw no events", i)
+			continue
+		}
+		last := uint64(0)
+		for _, e := range ev {
+			if e.TS < last {
+				t.Fatalf("host %d: timestamps went backwards (%d after %d) — cross-host mixing", i, e.TS, last)
+			}
+			last = e.TS
+		}
+		if now := hosts[i].Clock.Now(); last > now {
+			t.Errorf("host %d: event TS %d beyond own clock %d", i, last, now)
+		}
+	}
+}
+
+// TestFleetObserverIsolation is the regression test for the old
+// process-global span tracking: two concurrent rigs, one observed and
+// one not — the unobserved one must emit no spans and must not even have
+// span tracking enabled.
+func TestFleetObserverIsolation(t *testing.T) {
+	cfg := snddrv.Config{Rate: 22050, RingBytes: 512}
+	observed := NewSoundHost("observed", Devil, cfg, 4)
+	idle := NewSoundHost("idle", Devil, cfg, 4)
+	ring := obs.NewRing(1 << 14)
+	observed.Observe(ring)
+
+	fleet := RunFleet([]*Host{observed, idle}, 2)
+	if err := fleet.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if idle.Space.Spans().Enabled() {
+		t.Error("observer on one host enabled span tracking on another")
+	}
+	if got := idle.Space.Spans().Current(); got != "" {
+		t.Errorf("unobserved host holds span %q", got)
+	}
+	var spanned int
+	for _, e := range ring.Events() {
+		if e.Span != "" {
+			spanned++
+		}
+	}
+	if spanned == 0 {
+		t.Error("observed host emitted no attributed events")
+	}
+}
+
+// TestFleetScaling checks the virtual-time makespan divides by the
+// worker count when the assignment is balanced (DefaultFleet guarantees
+// this for worker counts dividing the fleet size).
+func TestFleetScaling(t *testing.T) {
+	base := RunFleet(DefaultFleet(48, Hand), 1)
+	if err := base.Err(); err != nil {
+		t.Fatal(err)
+	}
+	eight := RunFleet(DefaultFleet(48, Hand), 8)
+	if err := eight.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if base.Ops != eight.Ops || base.Bytes != eight.Bytes {
+		t.Fatalf("totals changed with workers: %+v vs %+v", base, eight)
+	}
+	speedup := eight.MBPerSec() / base.MBPerSec()
+	if speedup < 4 {
+		t.Errorf("8-worker aggregate throughput %.1f× the 1-worker run, want > 4×", speedup)
+	}
+}

@@ -43,52 +43,68 @@ func TestEventBytes(t *testing.T) {
 }
 
 func TestSpanDisabledIsFree(t *testing.T) {
-	done := Span("should.not.record")
-	if got := Current(); got != "" {
+	var sp Spans
+	done := sp.Span("should.not.record")
+	if got := sp.Current(); got != "" {
 		t.Errorf("Current with tracking off = %q", got)
 	}
 	done()
 }
 
+func TestSpanNilHandleIsDisabled(t *testing.T) {
+	var sp *Spans
+	if sp.Enabled() {
+		t.Fatal("nil Spans reports enabled")
+	}
+	sp.Span("ignored")() // must not panic
+	if got := sp.Current(); got != "" {
+		t.Errorf("nil Current = %q", got)
+	}
+	sp.With("ignored", func() {})
+}
+
 func TestSpanNesting(t *testing.T) {
-	Enable()
-	defer Disable()
-	if got := Current(); got != "" {
+	var sp Spans
+	sp.Enable()
+	defer sp.Disable()
+	if got := sp.Current(); got != "" {
 		t.Errorf("Current before any span = %q", got)
 	}
-	pop1 := Span("play.isr")
-	if got := Current(); got != "play.isr" {
+	pop1 := sp.Span("play.isr")
+	if got := sp.Current(); got != "play.isr" {
 		t.Errorf("Current = %q", got)
 	}
-	pop2 := Span("cs4236.pfmt.set")
-	if got := Current(); got != "play.isr/cs4236.pfmt.set" {
+	pop2 := sp.Span("cs4236.pfmt.set")
+	if got := sp.Current(); got != "play.isr/cs4236.pfmt.set" {
 		t.Errorf("nested Current = %q", got)
 	}
 	pop2()
-	if got := Current(); got != "play.isr" {
+	if got := sp.Current(); got != "play.isr" {
 		t.Errorf("Current after inner pop = %q", got)
 	}
 	pop1()
-	if got := Current(); got != "" {
+	if got := sp.Current(); got != "" {
 		t.Errorf("Current after outer pop = %q", got)
 	}
 }
 
-func TestSpanPerGoroutine(t *testing.T) {
-	Enable()
-	defer Disable()
-	defer Span("main.side")()
-	const workers = 8
+// TestSpanPerHost replaces the old per-goroutine attribution test: each
+// host owns its own Spans value, so concurrent hosts can never observe
+// each other's stacks, and enabling one host costs the others nothing.
+func TestSpanPerHost(t *testing.T) {
+	const hosts = 8
 	var wg sync.WaitGroup
-	errs := make(chan string, workers)
-	for i := 0; i < workers; i++ {
+	errs := make(chan string, hosts)
+	for i := 0; i < hosts; i++ {
 		wg.Add(1)
 		name := string(rune('a' + i))
+		sp := new(Spans)
+		sp.Enable()
 		go func() {
 			defer wg.Done()
-			defer Span("worker." + name)()
+			defer sp.Span("host." + name)()
 			for j := 0; j < 100; j++ {
-				if got := Current(); got != "worker."+name {
+				if got := sp.Current(); got != "host."+name {
 					errs <- got
 					return
 				}
@@ -98,23 +114,50 @@ func TestSpanPerGoroutine(t *testing.T) {
 	wg.Wait()
 	close(errs)
 	for got := range errs {
-		t.Errorf("goroutine saw foreign span %q", got)
-	}
-	if got := Current(); got != "main.side" {
-		t.Errorf("main goroutine span = %q", got)
+		t.Errorf("host saw foreign span %q", got)
 	}
 }
 
-func TestWithSpan(t *testing.T) {
-	Enable()
-	defer Disable()
-	var inside string
-	WithSpan("init", func() { inside = Current() })
-	if inside != "init" {
-		t.Errorf("WithSpan Current = %q", inside)
+// TestSpanUnobservedHostIsIsolated pins the bugfix for the old
+// process-global tracking: enabling spans on one host must not turn on
+// recording for a different host's Spans value.
+func TestSpanUnobservedHostIsIsolated(t *testing.T) {
+	observed, idle := new(Spans), new(Spans)
+	observed.Enable()
+	defer observed.Disable()
+	defer observed.Span("obs.phase")()
+	if idle.Enabled() {
+		t.Fatal("enabling one host enabled another")
 	}
-	if got := Current(); got != "" {
-		t.Errorf("Current after WithSpan = %q", got)
+	idle.Span("idle.phase")()
+	if got := idle.Current(); got != "" {
+		t.Errorf("unobserved host recorded %q", got)
+	}
+	if got := observed.Current(); got != "obs.phase" {
+		t.Errorf("observed host lost its span: %q", got)
+	}
+}
+
+func TestSpanDisableUnderflowPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Disable without Enable did not panic")
+		}
+	}()
+	new(Spans).Disable()
+}
+
+func TestWithSpan(t *testing.T) {
+	var sp Spans
+	sp.Enable()
+	defer sp.Disable()
+	var inside string
+	sp.With("init", func() { inside = sp.Current() })
+	if inside != "init" {
+		t.Errorf("With Current = %q", inside)
+	}
+	if got := sp.Current(); got != "" {
+		t.Errorf("Current after With = %q", got)
 	}
 }
 

@@ -1,121 +1,121 @@
 package obs
 
 import (
-	"runtime"
 	"sync"
 	"sync/atomic"
 )
 
-// Span attribution: a goroutine-local stack of names pushed by the exec
+// Span attribution: a per-host stack of names pushed by the exec
 // interpreter, the codegen-emitted stubs, and driver phase annotations.
-// The stack is keyed by goroutine ID so concurrently running hosts do
-// not mix their attributions, and it is refcount-gated: with no
-// observers attached anywhere, Span costs one atomic load and returns a
-// shared no-op closure, so the generated stubs stay zero-cost when the
+//
+// Each simulated host owns one Spans value (reachable through its virtual
+// clock, see bus.Clock.Spans), so attribution state is structurally
+// isolated: enabling observation on one host costs every other host
+// nothing, and two hosts can never mix their stacks. This replaces the
+// original process-global map keyed by goroutine ID, which (a) turned on
+// a runtime.Stack parse and a contended global lock for every goroutine
+// in the process as soon as any host attached an observer, and (b)
+// parsed the goroutine ID from a 32-byte buffer, truncating — and
+// colliding — once IDs grew past seven digits in long-running fleets.
+//
+// The stack is refcount-gated: with no observers attached to the host,
+// Span costs one nil-check plus one atomic load and returns a shared
+// no-op closure, so the generated stubs stay near zero-cost when the
 // pipeline is disabled.
 
-var (
-	tracking atomic.Int32
+// Spans is one host's attribution stack. The zero value is ready to use.
+// A nil *Spans is valid and permanently disabled, so producers without a
+// host (a stub bound to a bare test bus) pay only the nil check.
+//
+// Methods are safe for concurrent use; the mutex is per host, so it is
+// uncontended in the common one-goroutine-per-host regime and never
+// shared between hosts.
+type Spans struct {
+	enabled atomic.Int32
 
-	spanMu sync.Mutex
-	spans  = map[uint64][]string{}
-)
+	mu    sync.Mutex
+	stack []string
+}
 
-// Enable turns span tracking on. Calls nest: tracking stays on until a
-// matching number of Disable calls. bus.Space.SetObserver enables and
-// disables automatically; call this directly only when recording spans
-// without a space observer (e.g. a Trace handler in a unit test).
-func Enable() { tracking.Add(1) }
+// Enable turns span tracking on for this host. Calls nest: tracking stays
+// on until a matching number of Disable calls. bus.Space.SetObserver and
+// bus.Clock.SetObserver enable and disable automatically; call this
+// directly only when recording spans without a space observer (e.g. a
+// Trace handler in a unit test).
+func (s *Spans) Enable() {
+	if s == nil {
+		panic("obs: Enable on nil Spans")
+	}
+	s.enabled.Add(1)
+}
 
 // Disable undoes one Enable.
-func Disable() {
-	if tracking.Add(-1) < 0 {
-		tracking.Add(1)
+func (s *Spans) Disable() {
+	if s == nil {
+		panic("obs: Disable on nil Spans")
+	}
+	if s.enabled.Add(-1) < 0 {
+		s.enabled.Add(1)
 		panic("obs: Disable without matching Enable")
 	}
 }
 
-// Enabled reports whether span tracking is on.
-func Enabled() bool { return tracking.Load() > 0 }
+// Enabled reports whether span tracking is on for this host.
+func (s *Spans) Enabled() bool { return s != nil && s.enabled.Load() > 0 }
 
 var nop = func() {}
 
-// Span pushes name onto the calling goroutine's attribution stack and
-// returns the pop. Nested spans join with "/": code running under
-// Span("play.isr") then Span("cs4236.pfmt.set") is attributed
-// "play.isr/cs4236.pfmt.set". When tracking is disabled the call is a
-// single atomic load.
+// Span pushes name onto the host's attribution stack and returns the pop.
+// Nested spans join with "/": code running under Span("play.isr") then
+// Span("cs4236.pfmt.set") is attributed "play.isr/cs4236.pfmt.set". When
+// tracking is disabled the call is a nil check and an atomic load.
 //
-//	defer obs.Span("cs4236.pfmt.set")()
-func Span(name string) func() {
-	if tracking.Load() == 0 {
+//	defer spans.Span("cs4236.pfmt.set")()
+func (s *Spans) Span(name string) func() {
+	if s == nil || s.enabled.Load() == 0 {
 		return nop
 	}
-	g := gid()
-	spanMu.Lock()
-	st := spans[g]
+	s.mu.Lock()
 	joined := name
-	if len(st) > 0 {
-		joined = st[len(st)-1] + "/" + name
+	if n := len(s.stack); n > 0 {
+		joined = s.stack[n-1] + "/" + name
 	}
-	spans[g] = append(st, joined)
-	spanMu.Unlock()
+	s.stack = append(s.stack, joined)
+	s.mu.Unlock()
 	return func() {
-		spanMu.Lock()
-		st := spans[g]
-		switch n := len(st); {
-		case n > 1:
-			spans[g] = st[:n-1]
-		case n == 1:
-			delete(spans, g)
+		s.mu.Lock()
+		if n := len(s.stack); n > 0 {
+			s.stack = s.stack[:n-1]
 		}
-		spanMu.Unlock()
+		s.mu.Unlock()
 	}
 }
 
-// WithSpan runs fn under name. Sugar for Span when a closure is more
-// natural than a defer.
-func WithSpan(name string, fn func()) {
-	defer Span(name)()
+// With runs fn under name. Sugar for Span when a closure is more natural
+// than a defer.
+func (s *Spans) With(name string, fn func()) {
+	defer s.Span(name)()
 	fn()
 }
 
-// Current returns the calling goroutine's full attribution
-// ("phase/dev.var.op"), or "" when the stack is empty or tracking is
-// disabled. Producers stamp it into Event.Span.
-func Current() string {
-	if tracking.Load() == 0 {
+// Current returns the host's full attribution ("phase/dev.var.op"), or ""
+// when the stack is empty or tracking is disabled. Producers stamp it
+// into Event.Span.
+func (s *Spans) Current() string {
+	if s == nil || s.enabled.Load() == 0 {
 		return ""
 	}
-	g := gid()
-	spanMu.Lock()
-	defer spanMu.Unlock()
-	st := spans[g]
-	if len(st) == 0 {
-		return ""
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if n := len(s.stack); n > 0 {
+		return s.stack[n-1]
 	}
-	return st[len(st)-1]
+	return ""
 }
 
-// gid parses the goroutine ID out of the "goroutine N [" header that
-// runtime.Stack prints. There is no public API for it; the header
-// format has been stable since Go 1.0 and the parse is a few dozen ns —
-// and only paid while tracking is enabled.
-func gid() uint64 {
-	var buf [32]byte
-	n := runtime.Stack(buf[:], false)
-	s := buf[:n]
-	const prefix = "goroutine "
-	if len(s) < len(prefix) {
-		return 0
-	}
-	s = s[len(prefix):]
-	var id uint64
-	for _, c := range s {
-		if c < '0' || c > '9' {
-			break
-		}
-		id = id*10 + uint64(c-'0')
-	}
-	return id
+// Spanner is implemented by buses that carry a host attribution stack
+// (*bus.Space does). Generated stubs and the exec interpreter discover
+// their host's Spans through it at bind time.
+type Spanner interface {
+	Spans() *Spans
 }

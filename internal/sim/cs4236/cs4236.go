@@ -110,7 +110,7 @@ func (s *Sim) emit(kind obs.Kind, detail string) {
 	if s.Clock != nil {
 		ts = s.Clock.Now()
 	}
-	s.Obs.Observe(obs.Event{TS: ts, Kind: kind, Source: "cs4236", Span: obs.Current(), Detail: detail})
+	s.Obs.Observe(obs.Event{TS: ts, Kind: kind, Source: "cs4236", Span: s.Clock.Spans().Current(), Detail: detail})
 }
 
 // New returns a codec with all registers zeroed.

@@ -187,7 +187,7 @@ func (s *Sim) Transfer(units int) int {
 				}
 				s.Obs.Observe(obs.Event{
 					TS: ts, Kind: obs.KindDMATC, Source: "dma8237",
-					Span: obs.Current(), Detail: "ch0",
+					Span: s.Clock.Spans().Current(), Detail: "ch0",
 				})
 			}
 			if s.OnTC != nil {

@@ -142,7 +142,7 @@ func (d *Disk) emit(kind obs.Kind, detail string, units int, cost uint64) {
 	}
 	d.Obs.Observe(obs.Event{
 		TS: d.clock.Now(), Kind: kind, Source: "ide",
-		Span: obs.Current(), Detail: detail, Units: units, Cost: cost,
+		Span: d.clock.Spans().Current(), Detail: detail, Units: units, Cost: cost,
 	})
 }
 

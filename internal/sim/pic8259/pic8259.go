@@ -97,7 +97,7 @@ func (s *Sim) emit(kind obs.Kind, irq int) {
 	}
 	s.Obs.Observe(obs.Event{
 		TS: ts, Kind: kind, Source: "pic8259",
-		Span: obs.Current(), Detail: fmt.Sprintf("irq%d", irq),
+		Span: s.Clock.Spans().Current(), Detail: fmt.Sprintf("irq%d", irq),
 	})
 }
 
