@@ -7,8 +7,10 @@ import (
 	"repro/internal/bus"
 	idedrv "repro/internal/drivers/ide"
 	pmdrv "repro/internal/drivers/permedia2"
+	snddrv "repro/internal/drivers/sound"
 	"repro/internal/experiments"
 	"repro/internal/farm"
+	"repro/internal/gen"
 	genbm "repro/internal/gen/busmouse"
 	gencs "repro/internal/gen/cs4236"
 	gendma "repro/internal/gen/dma8237"
@@ -440,4 +442,85 @@ func BenchmarkObsSpanEnabled(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		sp.Span("cs4236.pfmt.set")()
 	}
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot serialization cost (see internal/snap): per-device marshal
+// bandwidth over every registered simulator, plus whole-host save and
+// restore through internal/farm. The *-MB/s metrics are wall-clock
+// serialization bandwidth and sit behind the CI benchmark gate.
+
+func BenchmarkSnapshotDevice(b *testing.B) {
+	for _, d := range gen.Devices {
+		b.Run(d.Name, func(b *testing.B) {
+			var clk bus.Clock
+			var space *bus.Space
+			if d.MMIO {
+				space = bus.NewSpace("mmio", &clk, bus.DefaultMemCosts())
+			} else {
+				space = bus.NewSpace("io", &clk, bus.DefaultPortCosts())
+			}
+			dev := d.NewSim(&clk, space)
+			blob, err := dev.MarshalState(nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if blob, err = dev.MarshalState(blob[:0]); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(len(blob))*float64(b.N)/b.Elapsed().Seconds()/1e6, "snap-MB/s")
+		})
+	}
+}
+
+// benchSnapHost builds the acceptance pipeline's host — sound playback,
+// Devil variant — suspended mid-stream between two terminal-count
+// interrupts, the state a checkpoint actually captures.
+func benchSnapHost(b *testing.B) *farm.Host {
+	b.Helper()
+	h := farm.New("bench", farm.WorkloadSpec{
+		Kind: farm.Sound, Variant: farm.Devil,
+		Sound: snddrv.Config{Rate: 22050, RingBytes: 512}, Revs: 4,
+	})
+	for h.Pos() < 4 {
+		if _, err := h.StepOnce(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return h
+}
+
+func BenchmarkSnapshotHostSave(b *testing.B) {
+	h := benchSnapHost(b)
+	blob, err := h.Snapshot()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if blob, err = h.Snapshot(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(len(blob))*float64(b.N)/b.Elapsed().Seconds()/1e6, "snap-MB/s")
+}
+
+func BenchmarkSnapshotHostRestore(b *testing.B) {
+	blob, err := benchSnapHost(b).Snapshot()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := farm.RestoreHost(blob); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(len(blob))*float64(b.N)/b.Elapsed().Seconds()/1e6, "restore-MB/s")
 }

@@ -1,0 +1,277 @@
+// Devil-snap saves, restores, inspects and diffs whole-host snapshots
+// (see internal/snap for the wire format and internal/farm for what a
+// host is): the virtual clock, operation counters, memory, interrupt
+// lines, device simulators, and driver state of one simulated machine,
+// suspended at a workload step boundary.
+//
+// Usage:
+//
+//	devil-snap save    [-kind ide|gfx|snd] [-variant hand|devil] [workload flags] [-steps N] -o host.snap
+//	devil-snap restore -i host.snap [-o final.snap]
+//	devil-snap inspect host.snap
+//	devil-snap diff a.snap b.snap
+//
+// save builds a host, runs the first N workload steps (default: half of
+// them — for the sound pipeline that is mid-stream, between two
+// terminal-count interrupts of the DMA ring), and writes the snapshot.
+// restore rebuilds the host from a snapshot, runs the remaining steps,
+// prints the Result, and optionally snapshots the completed host. inspect
+// walks the container and prints every part blob's name and size. diff
+// compares two snapshots part by part and exits 1 if they differ.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	snddrv "repro/internal/drivers/sound"
+	"repro/internal/farm"
+	"repro/internal/snap"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	var err error
+	switch cmd {
+	case "save":
+		err = save(args)
+	case "restore":
+		err = restore(args)
+	case "inspect":
+		err = inspect(args)
+	case "diff":
+		err = diffCmd(args)
+	default:
+		usage()
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "devil-snap: %s: %v\n", cmd, err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: devil-snap save|restore|inspect|diff [flags]")
+	os.Exit(2)
+}
+
+func save(args []string) error {
+	fs := flag.NewFlagSet("save", flag.ExitOnError)
+	kind := fs.String("kind", "snd", "workload kind: ide, gfx, or snd")
+	variant := fs.String("variant", "devil", "driver variant: hand or devil")
+	sectors := fs.Int("sectors", 64, "ide: sectors to DMA-read")
+	size := fs.Int("size", 64, "gfx: rectangle edge in pixels")
+	rects := fs.Int("rects", 32, "gfx: rectangles to fill")
+	rate := fs.Int("rate", 22050, "snd: sample rate in Hz")
+	ring := fs.Int("ring", 512, "snd: DMA ring size in bytes")
+	revs := fs.Int("revs", 4, "snd: ring revolutions to play")
+	steps := fs.Int("steps", -1, "workload steps to run before saving (default: half; beyond the step count: all)")
+	name := fs.String("name", "host", "host name recorded in the snapshot")
+	out := fs.String("o", "", "output file (required)")
+	fs.Parse(args)
+	if *out == "" {
+		return fmt.Errorf("-o is required")
+	}
+
+	spec := farm.WorkloadSpec{Variant: farm.Hand}
+	if *variant == "devil" {
+		spec.Variant = farm.Devil
+	} else if *variant != "hand" {
+		return fmt.Errorf("unknown variant %q", *variant)
+	}
+	switch *kind {
+	case "ide":
+		spec.Kind, spec.Sectors = farm.IDE, *sectors
+	case "gfx":
+		spec.Kind, spec.Size, spec.Rects = farm.Gfx, *size, *rects
+	case "snd":
+		spec.Kind = farm.Sound
+		spec.Sound = snddrv.Config{Rate: *rate, RingBytes: *ring}
+		spec.Revs = *revs
+	default:
+		return fmt.Errorf("unknown kind %q", *kind)
+	}
+
+	h := farm.New(*name, spec)
+	n := *steps
+	if n < 0 {
+		n = h.Steps() / 2
+	}
+	if n > h.Steps() {
+		n = h.Steps()
+	}
+	for h.Pos() < n {
+		if _, err := h.StepOnce(); err != nil {
+			return fmt.Errorf("step %s: %w", h.StepName(h.Pos()), err)
+		}
+	}
+	blob, err := h.Snapshot()
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(*out, blob, 0o644); err != nil {
+		return err
+	}
+	at := "complete"
+	if n < h.Steps() {
+		at = "before step " + h.StepName(n)
+	}
+	fmt.Printf("saved %s: %s %s host at step %d/%d (%s), %d bytes\n",
+		*out, spec.Kind, spec.Variant, n, h.Steps(), at, len(blob))
+	return nil
+}
+
+func restore(args []string) error {
+	fs := flag.NewFlagSet("restore", flag.ExitOnError)
+	in := fs.String("i", "", "input snapshot (required)")
+	out := fs.String("o", "", "optional: snapshot the completed host here")
+	fs.Parse(args)
+	if *in == "" {
+		return fmt.Errorf("-i is required")
+	}
+	blob, err := os.ReadFile(*in)
+	if err != nil {
+		return err
+	}
+	h, err := farm.RestoreHost(blob)
+	if err != nil {
+		return err
+	}
+	spec := h.Spec()
+	fmt.Printf("restored %s: %s %s host at step %d/%d\n",
+		h.Name, spec.Kind, spec.Variant, h.Pos(), h.Steps())
+	r := h.Run()
+	if r.Err != nil {
+		return r.Err
+	}
+	fmt.Printf("result: ops=%d bytes=%d virt=%dns\n", r.Ops, r.Bytes, r.VirtNS)
+	if *out != "" {
+		final, err := h.Snapshot()
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*out, final, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("saved %s: %d bytes\n", *out, len(final))
+	}
+	return nil
+}
+
+// walk reads the sequence of part blobs in a container payload.
+func walk(payload []byte) ([]snap.Header, [][]byte, error) {
+	var hs []snap.Header
+	var blobs [][]byte
+	for len(payload) > 0 {
+		blob, rest, err := snap.Part(payload)
+		if err != nil {
+			return nil, nil, err
+		}
+		h, _, _, err := snap.ReadHeader(blob)
+		if err != nil {
+			return nil, nil, err
+		}
+		hs = append(hs, h)
+		blobs = append(blobs, blob)
+		payload = rest
+	}
+	return hs, blobs, nil
+}
+
+func inspect(args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("usage: devil-snap inspect host.snap")
+	}
+	blob, err := os.ReadFile(args[0])
+	if err != nil {
+		return err
+	}
+	h, payload, rest, err := snap.ReadHeader(blob)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s: v%d, %d bytes total, %d payload\n", h.Name, h.Version, len(blob), len(payload))
+	if len(rest) != 0 {
+		fmt.Printf("  warning: %d trailing bytes after container\n", len(rest))
+	}
+	hs, blobs, err := walk(payload)
+	if err != nil {
+		return err
+	}
+	for i, ph := range hs {
+		fmt.Printf("  %-16s %d bytes\n", ph.Name, len(blobs[i]))
+	}
+	return nil
+}
+
+func diffCmd(args []string) error {
+	if len(args) != 2 {
+		return fmt.Errorf("usage: devil-snap diff a.snap b.snap")
+	}
+	a, err := os.ReadFile(args[0])
+	if err != nil {
+		return err
+	}
+	b, err := os.ReadFile(args[1])
+	if err != nil {
+		return err
+	}
+	ha, pa, _, err := snap.ReadHeader(a)
+	if err != nil {
+		return fmt.Errorf("%s: %w", args[0], err)
+	}
+	hb, pb, _, err := snap.ReadHeader(b)
+	if err != nil {
+		return fmt.Errorf("%s: %w", args[1], err)
+	}
+	differs := false
+	if ha.Name != hb.Name {
+		fmt.Printf("container: %q vs %q\n", ha.Name, hb.Name)
+		differs = true
+	}
+	hsa, blobsA, err := walk(pa)
+	if err != nil {
+		return fmt.Errorf("%s: %w", args[0], err)
+	}
+	hsb, blobsB, err := walk(pb)
+	if err != nil {
+		return fmt.Errorf("%s: %w", args[1], err)
+	}
+	for i := 0; i < len(hsa) || i < len(hsb); i++ {
+		switch {
+		case i >= len(hsa):
+			fmt.Printf("part %-16s only in %s\n", hsb[i].Name, args[1])
+			differs = true
+		case i >= len(hsb):
+			fmt.Printf("part %-16s only in %s\n", hsa[i].Name, args[0])
+			differs = true
+		case hsa[i].Name != hsb[i].Name:
+			fmt.Printf("part %d: %q vs %q\n", i, hsa[i].Name, hsb[i].Name)
+			differs = true
+		case !equal(blobsA[i], blobsB[i]):
+			fmt.Printf("part %-16s differs (%d vs %d bytes)\n", hsa[i].Name, len(blobsA[i]), len(blobsB[i]))
+			differs = true
+		}
+	}
+	if differs {
+		os.Exit(1)
+	}
+	fmt.Printf("identical: %d parts, %d bytes\n", len(hsa), len(a))
+	return nil
+}
+
+func equal(a, b []byte) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -3,13 +3,16 @@
 // on a goroutine pool and print the aggregate scaling curve, a miniature
 // of Table 6. One host carries an observer to show that attribution is
 // per host: its span-stamped event count is reported while every other
-// host runs unobserved at full speed.
+// host runs unobserved at full speed. At the end, one sound host is
+// suspended mid-stream, snapshotted, restored into a fresh Host, and run
+// to completion — the checkpoint/restore path of internal/snap.
 package main
 
 import (
 	"fmt"
 	"log"
 
+	snddrv "repro/internal/drivers/sound"
 	"repro/internal/farm"
 	"repro/internal/obs"
 )
@@ -20,8 +23,12 @@ func main() {
 		var base float64
 		for _, workers := range []int{1, 4, 8} {
 			fleet := farm.DefaultFleet(hosts, v)
+			// Only host 0 pays for observation: rebuild it with an
+			// observer in its spec, everything else runs unobserved.
 			ring := obs.NewRing(1 << 14)
-			fleet[0].Observe(ring) // only host 0 pays for observation
+			spec := fleet[0].Spec()
+			spec.Observer = ring
+			fleet[0] = farm.New(fleet[0].Name, spec)
 			f := farm.RunFleet(fleet, workers)
 			if err := f.Err(); err != nil {
 				log.Fatal(err)
@@ -39,4 +46,31 @@ func main() {
 				v, hosts, workers, f.Ops, f.MBPerSec(), f.MBPerSec()/base, attributed)
 		}
 	}
+
+	// Checkpoint/restore: suspend a sound host between two terminal-count
+	// interrupts of its DMA ring, serialize the whole machine, and finish
+	// the workload on a host rebuilt from the bytes.
+	h := farm.New("checkpointed", farm.WorkloadSpec{
+		Kind: farm.Sound, Variant: farm.Devil,
+		Sound: snddrv.Config{Rate: 22050, RingBytes: 512}, Revs: 4,
+	})
+	for h.Pos() < 4 { // init, start, rev1, rev2 done; suspended before rev3
+		if _, err := h.StepOnce(); err != nil {
+			log.Fatal(err)
+		}
+	}
+	blob, err := h.Snapshot()
+	if err != nil {
+		log.Fatal(err)
+	}
+	restored, err := farm.RestoreHost(blob)
+	if err != nil {
+		log.Fatal(err)
+	}
+	r := restored.Run()
+	if r.Err != nil {
+		log.Fatal(r.Err)
+	}
+	fmt.Printf("snapshot: %d bytes before step %q; restored host finished: ops=%d bytes=%d virt=%dns\n",
+		len(blob), h.StepName(h.Pos()), r.Ops, r.Bytes, r.VirtNS)
 }

@@ -1,0 +1,211 @@
+package ir
+
+import "repro/internal/devil/sema"
+
+// StateLayout is the canonical serialization layout of a device's
+// spec-derived driver state: the private memory cells, variable caches,
+// register shadows, elision flags, and structure staging the generated
+// stubs keep in struct fields and the exec interpreter keeps in maps.
+// Both paths marshal exactly these slots in exactly this order, so a
+// snapshot taken through one path restores through the other and
+// cross-path snapshots compare byte for byte.
+//
+// The wire order (every list in declaration order, i.e. sema Index order):
+//
+//  1. one u32 per memory cell (Cells)
+//  2. one u32 per structure-flush-cached variable (VCached)
+//  3. one u32 per shadowed register (Shadows): the last written raw value
+//  4. one bool per elision-guarded register (Guarded): shadow authority
+//  5. one u32 per structure-snapshot register (Snapped): the last raw read
+//  6. one bool per readable structure (Readable): snapshot validity
+//  7. per writable structure (Writable), per field: one u32 staged raw
+//     value, plus one bool staged-flag for trigger fields
+//
+// The Guarded set depends on the enabled optimization passes, so
+// snapshots are only exchangeable between producers running at the same
+// optimization level; a mismatch surfaces as a payload-shape error, not
+// silent corruption.
+type StateLayout struct {
+	Cells    []*sema.Variable  // memory cells, declaration order
+	VCached  []*sema.Variable  // variables cached for structure flushes
+	Shadows  []*sema.Register  // RMW-shadowed ∪ elision-guarded registers
+	Guarded  []*sema.Register  // elision-guarded registers (under the passes)
+	Snapped  []*sema.Register  // registers read through structure snapshots
+	Readable []*sema.Structure // structures with a readable serialization
+	Writable []*sema.Structure // structures with a writable serialization
+
+	// The same classifications as sets, for membership tests.
+	RMWShadowed map[*sema.Register]bool // needs a shadow for read-modify-write
+	GuardedSet  map[*sema.Register]bool
+	SnappedSet  map[*sema.Register]bool
+	VCachedSet  map[*sema.Variable]bool
+}
+
+// NewStateLayout computes the canonical state layout of spec under the
+// given optimization passes. info may be nil, in which case the elision
+// analysis is run here.
+func NewStateLayout(spec *sema.Device, info *Info, p Passes) *StateLayout {
+	if info == nil {
+		info = Analyze(spec)
+	}
+	l := &StateLayout{
+		RMWShadowed: map[*sema.Register]bool{},
+		GuardedSet:  info.GuardedRegs(p),
+		SnappedSet:  map[*sema.Register]bool{},
+		VCachedSet:  map[*sema.Variable]bool{},
+	}
+
+	// A register needs a shadow when some variable write composes with
+	// cached co-tenant bits (KeepMask != 0 for some writer).
+	for _, v := range spec.Variables {
+		if v.Cell || !v.Writable || v.Struct != nil {
+			continue
+		}
+		for _, step := range v.Order {
+			if KeepMask(spec, step.Reg, v) != 0 {
+				l.RMWShadowed[step.Reg] = true
+			}
+		}
+	}
+	for _, s := range spec.Structures {
+		if StructReadable(s) {
+			l.Readable = append(l.Readable, s)
+			for _, step := range s.Order {
+				l.SnappedSet[step.Reg] = true
+			}
+		}
+		// A structure flush composes non-member co-tenants from their
+		// last known value (the register is written whole); those
+		// variables carry a per-variable cache.
+		if StructWritable(s) {
+			l.Writable = append(l.Writable, s)
+			for _, step := range s.Order {
+				for _, t := range Tenants(spec, step.Reg) {
+					if t.Struct != nil || t.Cell {
+						continue
+					}
+					if t.Trigger != nil && t.Trigger.HasNeutral {
+						continue
+					}
+					l.VCachedSet[t] = true
+				}
+			}
+		}
+	}
+
+	for _, v := range spec.Variables {
+		if v.Cell {
+			l.Cells = append(l.Cells, v)
+		}
+		if l.VCachedSet[v] {
+			l.VCached = append(l.VCached, v)
+		}
+	}
+	for _, r := range spec.Registers {
+		if l.RMWShadowed[r] || l.GuardedSet[r] {
+			l.Shadows = append(l.Shadows, r)
+		}
+		if l.GuardedSet[r] {
+			l.Guarded = append(l.Guarded, r)
+		}
+		if l.SnappedSet[r] {
+			l.Snapped = append(l.Snapped, r)
+		}
+	}
+	return l
+}
+
+// StructReadable reports whether the structure's serialization is fully
+// readable (every step register has a read port).
+func StructReadable(s *sema.Structure) bool {
+	for _, step := range s.Order {
+		if !step.Reg.Readable() {
+			return false
+		}
+	}
+	return len(s.Order) > 0
+}
+
+// StructWritable reports whether the structure's serialization is fully
+// writable.
+func StructWritable(s *sema.Structure) bool {
+	for _, step := range s.Order {
+		if !step.Reg.Writable() {
+			return false
+		}
+	}
+	return len(s.Order) > 0
+}
+
+// VarMask returns the register bits owned by v on reg.
+func VarMask(reg *sema.Register, v *sema.Variable) uint64 {
+	var m uint64
+	for _, ch := range v.Chunks {
+		if ch.Reg != reg {
+			continue
+		}
+		for _, b := range ch.Bits {
+			m |= 1 << uint(b)
+		}
+	}
+	return m
+}
+
+// Tenants returns the variables owning bits of reg, in declaration order.
+func Tenants(spec *sema.Device, reg *sema.Register) []*sema.Variable {
+	var out []*sema.Variable
+	for _, v := range spec.Variables {
+		if VarMask(reg, v) != 0 {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// NeutralConst returns the placed neutral contributions of trigger
+// co-tenants of v on reg, and the mask of their bits.
+func NeutralConst(spec *sema.Device, reg *sema.Register, v *sema.Variable) (placed, mask uint64) {
+	for _, t := range Tenants(spec, reg) {
+		if t == v || t.Trigger == nil || !t.Trigger.HasNeutral {
+			continue
+		}
+		placed |= PlaceValue(reg, t, t.Trigger.Neutral)
+		mask |= VarMask(reg, t)
+	}
+	return placed, mask
+}
+
+// KeepMask returns the bits of reg composed from the shadow when v
+// writes: relevant bits of cached (non-trigger) co-tenants.
+func KeepMask(spec *sema.Device, reg *sema.Register, v *sema.Variable) uint64 {
+	var m uint64
+	for _, t := range Tenants(spec, reg) {
+		if t == v {
+			continue
+		}
+		if t.Trigger != nil && t.Trigger.HasNeutral {
+			continue
+		}
+		m |= VarMask(reg, t)
+	}
+	return m
+}
+
+// PlaceValue scatters a variable's raw value onto its register bits.
+func PlaceValue(reg *sema.Register, v *sema.Variable, raw uint64) uint64 {
+	var out uint64
+	pos := v.Width
+	for _, ch := range v.Chunks {
+		pos -= len(ch.Bits)
+		if ch.Reg != reg {
+			continue
+		}
+		for i, b := range ch.Bits {
+			valBit := pos + len(ch.Bits) - 1 - i
+			if raw&(1<<uint(valBit)) != 0 {
+				out |= 1 << uint(b)
+			}
+		}
+	}
+	return out
+}

@@ -6,6 +6,7 @@ import (
 
 	genide "repro/internal/gen/ide"
 	genpiix4 "repro/internal/gen/piix4"
+	"repro/internal/snap"
 )
 
 // Devil is the Devil-based driver: every device access goes through the
@@ -31,6 +32,17 @@ func NewDevil(p Ports, cfg Config) *Devil {
 
 // Name implements Driver.
 func (d *Devil) Name() string { return "devil" }
+
+// MarshalState implements snap.Snapshotter: the driver state of the task
+// file and busmaster stubs, in wiring order.
+func (d *Devil) MarshalState(dst []byte) ([]byte, error) {
+	return snap.MarshalParts(dst, "ide-devil", d.dev, d.bm)
+}
+
+// UnmarshalState implements snap.Snapshotter.
+func (d *Devil) UnmarshalState(data []byte) error {
+	return snap.UnmarshalParts(data, "ide-devil", d.dev, d.bm)
+}
 
 // Init implements Driver.
 func (d *Devil) Init() error {

@@ -3,6 +3,8 @@ package ide
 import (
 	"encoding/binary"
 	"fmt"
+
+	"repro/internal/snap"
 )
 
 // The magic constants a hand-crafted driver carries around — offsets and
@@ -48,6 +50,22 @@ func NewHand(p Ports, cfg Config) *Hand { return &Hand{p: p, cfg: cfg} }
 
 // Name implements Driver.
 func (d *Hand) Name() string { return "standard" }
+
+// MarshalState implements snap.Snapshotter. The hand driver keeps no
+// device state in host memory, so its blob is a named empty payload.
+func (d *Hand) MarshalState(dst []byte) ([]byte, error) {
+	dst, patch := snap.AppendHeader(dst, "ide-hand")
+	return snap.FinishHeader(dst, patch), nil
+}
+
+// UnmarshalState implements snap.Snapshotter.
+func (d *Hand) UnmarshalState(data []byte) error {
+	r, err := snap.NewReader(data, "ide-hand")
+	if err != nil {
+		return err
+	}
+	return r.Close()
+}
 
 // Init implements Driver.
 func (d *Hand) Init() error {

@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/bus"
 	"repro/internal/sim/ide"
+	"repro/internal/snap"
 )
 
 // IRQLatencyNS is the simulated cost of taking one interrupt (context
@@ -58,6 +59,10 @@ type Driver interface {
 	ReadSectors(lba int, dst []byte) error
 	// WriteSectors writes len(src)/512 sectors starting at lba from src.
 	WriteSectors(lba int, src []byte) error
+	// Drivers snapshot alongside the drive they program (see internal/farm
+	// and internal/snap): the Devil variant serializes its two stubs'
+	// driver state, the hand variant has none.
+	snap.Snapshotter
 }
 
 // Ports groups the bus wiring shared by both drivers.

@@ -1,7 +1,11 @@
 package permedia2
 
 import (
+	"encoding/binary"
+	"fmt"
+
 	gen "repro/internal/gen/permedia2"
+	"repro/internal/snap"
 )
 
 // Devil is the Devil-based driver: all accesses go through the stubs
@@ -21,6 +25,41 @@ func NewDevil(p Ports) *Devil {
 
 // Name implements Driver.
 func (d *Devil) Name() string { return "devil" }
+
+// MarshalState implements snap.Snapshotter: the stub's driver state plus
+// the configured pixel depth.
+func (d *Devil) MarshalState(dst []byte) ([]byte, error) {
+	dst, patch := snap.AppendHeader(dst, "permedia2-devil")
+	var err error
+	if dst, err = d.dev.MarshalState(dst); err != nil {
+		return nil, err
+	}
+	dst = snap.AppendU32(dst, uint32(d.bpp))
+	return snap.FinishHeader(dst, patch), nil
+}
+
+// UnmarshalState implements snap.Snapshotter.
+func (d *Devil) UnmarshalState(data []byte) error {
+	h, payload, _, err := snap.ReadHeader(data)
+	if err != nil {
+		return err
+	}
+	if h.Name != "permedia2-devil" {
+		return fmt.Errorf("snap: blob is %q, want %q", h.Name, "permedia2-devil")
+	}
+	blob, rest, err := snap.Part(payload)
+	if err != nil {
+		return err
+	}
+	if err := d.dev.UnmarshalState(blob); err != nil {
+		return err
+	}
+	if len(rest) != 4 {
+		return fmt.Errorf("snap: permedia2-devil: %d tail bytes, want 4 (state shape mismatch)", len(rest))
+	}
+	d.bpp = int(binary.LittleEndian.Uint32(rest))
+	return nil
+}
 
 // Init implements Driver.
 func (d *Devil) Init(bpp int) error {

@@ -1,5 +1,7 @@
 package permedia2
 
+import "repro/internal/snap"
+
 // Magic register offsets and encodings, transcribed from the datasheet —
 // the layer the Devil specification replaces.
 const (
@@ -39,6 +41,24 @@ func NewHand(p Ports) *Hand { return &Hand{p: p} }
 
 // Name implements Driver.
 func (d *Hand) Name() string { return "standard" }
+
+// MarshalState implements snap.Snapshotter: the configured pixel depth is
+// the hand driver's only host-side state.
+func (d *Hand) MarshalState(dst []byte) ([]byte, error) {
+	dst, patch := snap.AppendHeader(dst, "permedia2-hand")
+	dst = snap.AppendU32(dst, uint32(d.bpp))
+	return snap.FinishHeader(dst, patch), nil
+}
+
+// UnmarshalState implements snap.Snapshotter.
+func (d *Hand) UnmarshalState(data []byte) error {
+	r, err := snap.NewReader(data, "permedia2-hand")
+	if err != nil {
+		return err
+	}
+	d.bpp = int(r.U32())
+	return r.Close()
+}
 
 // Init implements Driver.
 func (d *Hand) Init(bpp int) error {

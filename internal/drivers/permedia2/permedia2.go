@@ -21,6 +21,7 @@ import (
 	"fmt"
 
 	"repro/internal/bus"
+	"repro/internal/snap"
 )
 
 // Driver is the common surface of the two implementations.
@@ -32,6 +33,10 @@ type Driver interface {
 	FillRect(x, y, w, h int, color uint32)
 	// CopyRect copies a w×h block from (sx, sy) to (dx, dy).
 	CopyRect(sx, sy, dx, dy, w, h int)
+	// Drivers snapshot alongside the chip they program (see internal/farm
+	// and internal/snap): the configured depth, plus the stub driver
+	// state for the Devil variant.
+	snap.Snapshotter
 }
 
 // depthCode converts bits-per-pixel to the fb_write_config depth field.

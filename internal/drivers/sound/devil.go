@@ -6,6 +6,7 @@ import (
 	gencs "repro/internal/gen/cs4236"
 	gendma "repro/internal/gen/dma8237"
 	genpic "repro/internal/gen/pic8259"
+	"repro/internal/snap"
 )
 
 // Devil is the Devil-based driver: every device access goes through the
@@ -143,28 +144,62 @@ func (d *Devil) isr(buf []byte, rev, revs int) error {
 	return nil
 }
 
-// Play implements Driver.
-func (d *Devil) Play(clip []byte) error {
-	buf, revs, err := prepare(d.cfg, &d.p, clip)
-	if err != nil || revs == 0 {
+// Start implements Driver: first revolution into the ring, channel armed,
+// DAC enabled.
+func (d *Devil) Start(buf []byte) error {
+	if err := checkBuf(d.cfg, &d.p, buf); err != nil {
 		return err
 	}
 	copy(d.p.Mem.Data[d.p.RingAddr:], buf[:d.cfg.RingBytes])
 	d.arm()
 	d.p.withSpan("play.start", func() { d.codec.SetPen(true) })
-	for rev := 1; rev <= revs; rev++ {
-		if err := d.p.waitIRQ(); err != nil {
-			return err
-		}
-		if err := d.isr(buf, rev, revs); err != nil {
-			return err
-		}
+	return nil
+}
+
+// ServeRev implements Driver: one terminal-count interrupt serviced.
+func (d *Devil) ServeRev(buf []byte, rev, revs int) error {
+	if err := d.p.waitIRQ(); err != nil {
+		return err
 	}
-	// Drain the FIFO tail through the DAC, then stop it.
+	return d.isr(buf, rev, revs)
+}
+
+// Finish implements Driver: FIFO tail drained through the DAC, DAC off.
+func (d *Devil) Finish() error {
 	d.p.withSpan("play.stop", func() {
 		for d.p.Pump(pumpBurst) > 0 {
 		}
 		d.codec.SetPen(false)
 	})
 	return nil
+}
+
+// Play implements Driver.
+func (d *Devil) Play(clip []byte) error {
+	buf, revs, err := prepare(d.cfg, &d.p, clip)
+	if err != nil || revs == 0 {
+		return err
+	}
+	if err := d.Start(buf); err != nil {
+		return err
+	}
+	for rev := 1; rev <= revs; rev++ {
+		if err := d.ServeRev(buf, rev, revs); err != nil {
+			return err
+		}
+	}
+	return d.Finish()
+}
+
+// MarshalState implements snap.Snapshotter: the driver state of the three
+// generated stubs (codec, DMA, PIC) in wiring order — cached variable
+// values, staged trigger fields, and register shadows, as emitted by
+// devilc for each specification.
+func (d *Devil) MarshalState(dst []byte) ([]byte, error) {
+	return snap.MarshalParts(dst, "sound-devil", d.codec, d.dma, d.pic)
+}
+
+// UnmarshalState implements snap.Snapshotter.
+func (d *Devil) UnmarshalState(data []byte) error {
+	return snap.UnmarshalParts(data, "sound-devil", d.codec, d.dma, d.pic)
 }

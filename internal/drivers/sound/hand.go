@@ -1,6 +1,10 @@
 package sound
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/internal/snap"
+)
 
 // The magic constants a hand-crafted sound driver carries around — WSS
 // indexed-register numbers, 8237 mode encodings, and 8259 command words
@@ -122,10 +126,10 @@ func (d *Hand) isr(buf []byte, rev, revs int) error {
 	return nil
 }
 
-// Play implements Driver.
-func (d *Hand) Play(clip []byte) error {
-	buf, revs, err := prepare(d.cfg, &d.p, clip)
-	if err != nil || revs == 0 {
+// Start implements Driver: first revolution into the ring, channel armed,
+// DAC enabled.
+func (d *Hand) Start(buf []byte) error {
+	if err := checkBuf(d.cfg, &d.p, buf); err != nil {
 		return err
 	}
 	io := d.p.Space
@@ -135,14 +139,20 @@ func (d *Hand) Play(clip []byte) error {
 		io.Out8(d.p.WSSBase+hwWSSIndex, hwRegIface)
 		io.Out8(d.p.WSSBase+hwWSSData, hwPEN)
 	})
-	for rev := 1; rev <= revs; rev++ {
-		if err := d.p.waitIRQ(); err != nil {
-			return err
-		}
-		if err := d.isr(buf, rev, revs); err != nil {
-			return err
-		}
+	return nil
+}
+
+// ServeRev implements Driver: one terminal-count interrupt serviced.
+func (d *Hand) ServeRev(buf []byte, rev, revs int) error {
+	if err := d.p.waitIRQ(); err != nil {
+		return err
 	}
+	return d.isr(buf, rev, revs)
+}
+
+// Finish implements Driver: FIFO tail drained through the DAC, DAC off.
+func (d *Hand) Finish() error {
+	io := d.p.Space
 	d.p.withSpan("play.stop", func() {
 		for d.p.Pump(pumpBurst) > 0 {
 		}
@@ -150,4 +160,38 @@ func (d *Hand) Play(clip []byte) error {
 		io.Out8(d.p.WSSBase+hwWSSData, 0)
 	})
 	return nil
+}
+
+// Play implements Driver.
+func (d *Hand) Play(clip []byte) error {
+	buf, revs, err := prepare(d.cfg, &d.p, clip)
+	if err != nil || revs == 0 {
+		return err
+	}
+	if err := d.Start(buf); err != nil {
+		return err
+	}
+	for rev := 1; rev <= revs; rev++ {
+		if err := d.ServeRev(buf, rev, revs); err != nil {
+			return err
+		}
+	}
+	return d.Finish()
+}
+
+// MarshalState implements snap.Snapshotter. The hand driver keeps no
+// device state in host memory — every latched value lives in the chips —
+// so its blob is a named empty payload.
+func (d *Hand) MarshalState(dst []byte) ([]byte, error) {
+	dst, patch := snap.AppendHeader(dst, "sound-hand")
+	return snap.FinishHeader(dst, patch), nil
+}
+
+// UnmarshalState implements snap.Snapshotter.
+func (d *Hand) UnmarshalState(data []byte) error {
+	r, err := snap.NewReader(data, "sound-hand")
+	if err != nil {
+		return err
+	}
+	return r.Close()
 }

@@ -27,6 +27,7 @@ import (
 	simcs "repro/internal/sim/cs4236"
 	simdma "repro/internal/sim/dma8237"
 	simpic "repro/internal/sim/pic8259"
+	"repro/internal/snap"
 )
 
 // IRQLatencyNS is the simulated cost of taking one interrupt (context
@@ -81,7 +82,12 @@ func (c Config) String() string {
 	return fmt.Sprintf("%dHz %d-bit %s, %dB ring", c.Rate, bits, ch, c.RingBytes)
 }
 
-// Driver is the common surface of the two implementations.
+// Driver is the common surface of the two implementations. Play is the
+// whole workload; Start, ServeRev, and Finish are the same workload cut at
+// its natural suspension points — between terminal-count interrupts — so a
+// host can checkpoint mid-stream (see internal/farm) and a restored driver
+// resumes with the next revolution. Play is exactly Start + revs×ServeRev
+// + Finish and produces an identical bus trace.
 type Driver interface {
 	Name() string
 	// Init programs the interrupt controller and the codec sample format.
@@ -90,6 +96,19 @@ type Driver interface {
 	// consumed by the DAC, servicing one terminal-count interrupt per ring
 	// revolution. The clip is padded with silence to a whole revolution.
 	Play(clip []byte) error
+	// Start arms the pipeline for a prepared buffer (a whole number of
+	// ring revolutions, see Config.Pad): first revolution copied into the
+	// ring, DMA channel armed, DAC enabled.
+	Start(buf []byte) error
+	// ServeRev waits for and services the terminal-count interrupt of
+	// revolution rev of revs: ring refill with the next slice of buf, or
+	// channel mask-off after the final revolution.
+	ServeRev(buf []byte, rev, revs int) error
+	// Finish drains the FIFO tail through the DAC and disables playback.
+	Finish() error
+	// Drivers snapshot alongside the chips they program: the Devil variant
+	// serializes its three stubs' driver state, the hand variant has none.
+	snap.Snapshotter
 }
 
 // Ports groups the bus wiring shared by both drivers.
@@ -151,25 +170,51 @@ func (p *Ports) waitIRQ() error {
 	return nil
 }
 
+// Pad returns clip padded with silence to a whole number of ring
+// revolutions, plus the revolution count. An empty clip pads to nothing.
+func (c Config) Pad(clip []byte) ([]byte, int) {
+	if len(clip) == 0 || c.RingBytes <= 0 {
+		return nil, 0
+	}
+	revs := (len(clip) + c.RingBytes - 1) / c.RingBytes
+	buf := make([]byte, revs*c.RingBytes)
+	copy(buf, clip)
+	return buf, revs
+}
+
+// checkRing validates the configuration against the wiring.
+func checkRing(cfg Config, p *Ports) error {
+	fb := cfg.FrameBytes()
+	if cfg.RingBytes < fb || cfg.RingBytes%fb != 0 {
+		return fmt.Errorf("sound: ring size %d not a positive multiple of the %d-byte frame", cfg.RingBytes, fb)
+	}
+	if cfg.RingBytes > 1<<16 {
+		return fmt.Errorf("sound: ring size %d exceeds the 8237's 16-bit reach", cfg.RingBytes)
+	}
+	if int(p.RingAddr)+cfg.RingBytes > len(p.Mem.Data) {
+		return fmt.Errorf("sound: ring [%#x,%#x) outside simulated memory", p.RingAddr, int(p.RingAddr)+cfg.RingBytes)
+	}
+	return nil
+}
+
+// checkBuf validates a prepared buffer for Start and ServeRev.
+func checkBuf(cfg Config, p *Ports, buf []byte) error {
+	if err := checkRing(cfg, p); err != nil {
+		return err
+	}
+	if len(buf) == 0 || len(buf)%cfg.RingBytes != 0 {
+		return fmt.Errorf("sound: buffer of %d bytes is not a whole number of %d-byte revolutions", len(buf), cfg.RingBytes)
+	}
+	return nil
+}
+
 // prepare validates the configuration and pads the clip to whole ring
 // revolutions. It returns the padded buffer and the revolution count.
 func prepare(cfg Config, p *Ports, clip []byte) ([]byte, int, error) {
-	fb := cfg.FrameBytes()
-	if cfg.RingBytes < fb || cfg.RingBytes%fb != 0 {
-		return nil, 0, fmt.Errorf("sound: ring size %d not a positive multiple of the %d-byte frame", cfg.RingBytes, fb)
+	if err := checkRing(cfg, p); err != nil {
+		return nil, 0, err
 	}
-	if cfg.RingBytes > 1<<16 {
-		return nil, 0, fmt.Errorf("sound: ring size %d exceeds the 8237's 16-bit reach", cfg.RingBytes)
-	}
-	if int(p.RingAddr)+cfg.RingBytes > len(p.Mem.Data) {
-		return nil, 0, fmt.Errorf("sound: ring [%#x,%#x) outside simulated memory", p.RingAddr, int(p.RingAddr)+cfg.RingBytes)
-	}
-	if len(clip) == 0 {
-		return nil, 0, nil
-	}
-	revs := (len(clip) + cfg.RingBytes - 1) / cfg.RingBytes
-	buf := make([]byte, revs*cfg.RingBytes)
-	copy(buf, clip)
+	buf, revs := cfg.Pad(clip)
 	return buf, revs, nil
 }
 

@@ -8,6 +8,16 @@
 // pool without synchronizing with each other, and an observer attached to
 // one host costs every other host nothing.
 //
+// A host's workload is a list of steps with a cursor, and the cursor's
+// step boundaries are checkpoint points: Snapshot serializes the whole
+// machine (clock, operation counters, memory, interrupt lines, device
+// simulators, and driver state, each as one self-delimiting part blob, see
+// package snap), and RestoreHost rebuilds the wiring from the embedded
+// WorkloadSpec and restores every part, so a host suspended mid-workload —
+// including mid-DMA, between two terminal-count interrupts of the sound
+// ring — resumes in a fresh process and produces the bit-identical
+// remainder of its event stream and Result.
+//
 // RunFleet executes a fleet over a fixed worker pool with a static
 // round-robin assignment (host i runs on worker i%W). Because every host
 // is deterministic in virtual time, the per-host Results are identical
@@ -33,6 +43,7 @@ import (
 	"repro/internal/obs"
 	simide "repro/internal/sim/ide"
 	simpm "repro/internal/sim/permedia2"
+	"repro/internal/snap"
 )
 
 // Variant selects which driver implementation a host runs.
@@ -52,8 +63,62 @@ func (v Variant) String() string {
 	return "hand"
 }
 
+// WorkloadKind selects which machine a host simulates.
+type WorkloadKind int
+
+// The three workload families.
+const (
+	IDE   WorkloadKind = iota // DMA sector reads from a disk model
+	Gfx                       // Permedia2 rectangle fills
+	Sound                     // codec+DMA+PIC ring playback
+)
+
+// String implements fmt.Stringer.
+func (k WorkloadKind) String() string {
+	switch k {
+	case IDE:
+		return "ide"
+	case Gfx:
+		return "gfx"
+	case Sound:
+		return "snd"
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// WorkloadSpec describes one host's machine and workload. Only the fields
+// of the selected Kind matter; the rest are ignored. The spec travels in
+// every snapshot (it is what RestoreHost rebuilds the wiring from), except
+// for Observer, which is runtime wiring — attach one to a restored host
+// with Observe.
+type WorkloadSpec struct {
+	Kind    WorkloadKind
+	Variant Variant
+
+	// IDE: the number of sequential sectors one run DMA-reads.
+	Sectors int
+
+	// Gfx: Rects size×size rectangle fills at 8 bpp.
+	Size  int
+	Rects int
+
+	// Sound: a clip of Revs ring revolutions through the given format.
+	Sound snddrv.Config
+	Revs  int
+
+	// Observer, when non-nil, is attached to the host at construction.
+	Observer obs.Observer
+}
+
+// step is one resumable unit of a host's workload. run returns the payload
+// bytes the step moved.
+type step struct {
+	name string
+	run  func() (uint64, error)
+}
+
 // Host is one self-contained simulated machine, ready to run its
-// workload. Construct hosts with NewIDEHost, NewGfxHost, or NewSoundHost;
+// workload. Construct hosts with New (or restore one with RestoreHost);
 // the value owns every piece of mutable state it touches, so distinct
 // hosts may run concurrently without any synchronization.
 type Host struct {
@@ -61,41 +126,39 @@ type Host struct {
 	Clock *bus.Clock
 	Space *bus.Space
 
-	// work drives the host's driver through one complete workload and
-	// returns the number of payload bytes moved.
-	work func() (uint64, error)
+	spec  WorkloadSpec
+	steps []step
+	// parts are the host's stateful components in canonical snapshot
+	// order; wiring between them is rebuilt by New, never serialized.
+	parts []snap.Snapshotter
+
+	pos    int    // index of the next step to run
+	moved  uint64 // payload bytes accumulated since step 0
+	start  uint64 // clock reading when step 0 ran
+	failed error  // first step error, latched until the next fresh run
 }
 
-// Observe attaches o to the host's port space (and, through the space's
-// clock, enables span attribution for this host only). Pass nil to
-// detach.
-func (h *Host) Observe(o obs.Observer) { h.Space.SetObserver(o) }
-
-// Result is the outcome of one host's workload.
-type Result struct {
-	Name   string
-	Ops    uint64    // port/MMIO operations issued by the driver
-	Bytes  uint64    // payload bytes moved (sectors read, pixels drawn, samples played)
-	VirtNS uint64    // virtual nanoseconds the workload took on the host's clock
-	Stats  bus.Stats // full per-host operation counters
-	Err    error
-}
-
-// Run executes the host's workload to completion and returns its Result.
-// Statistics are reset at entry so back-to-back runs measure cleanly.
-func (h *Host) Run() Result {
-	h.Space.ResetStats()
-	start := h.Clock.Now()
-	n, err := h.work()
-	r := Result{
-		Name:   h.Name,
-		Bytes:  n,
-		VirtNS: h.Clock.Now() - start,
-		Stats:  h.Space.Stats(),
-		Err:    err,
+// New builds a host for the given workload description.
+func New(name string, spec WorkloadSpec) *Host {
+	h := &Host{Name: name, spec: spec}
+	switch spec.Kind {
+	case IDE:
+		h.buildIDE()
+	case Gfx:
+		h.buildGfx()
+	case Sound:
+		h.buildSound()
+	default:
+		h.Clock = &bus.Clock{}
+		h.Space = bus.NewSpace("io", h.Clock, bus.DefaultPortCosts())
+		h.steps = []step{{name: "invalid", run: func() (uint64, error) {
+			return 0, fmt.Errorf("farm: unknown workload kind %d", int(spec.Kind))
+		}}}
 	}
-	r.Ops = r.Stats.Ops()
-	return r
+	if spec.Observer != nil {
+		h.Observe(spec.Observer)
+	}
+	return h
 }
 
 // ideBases mirrors the conventional legacy addresses used by the
@@ -108,9 +171,10 @@ const (
 	pmBase     = 0xf000_0000
 )
 
-// NewIDEHost builds a host that DMA-reads sectors sequential sectors from
-// its own disk model and verifies the transfer landed.
-func NewIDEHost(name string, v Variant, sectors int) *Host {
+// buildIDE wires a host that DMA-reads Sectors sequential sectors from its
+// own disk model.
+func (h *Host) buildIDE() {
+	sectors := h.spec.Sectors
 	clk := &bus.Clock{}
 	space := bus.NewSpace("io", clk, bus.DefaultPortCosts())
 	mem := bus.NewRAM(ideDMAAddr + (sectors+4)*simide.SectorSize)
@@ -124,71 +188,101 @@ func NewIDEHost(name string, v Variant, sectors int) *Host {
 		CmdBase: ideCmdBase, CtlBase: ideCtlBase, BMBase: ideBMBase, DMAAddr: ideDMAAddr,
 	}
 	var drv idedrv.Driver
-	if v == Devil {
+	if h.spec.Variant == Devil {
 		drv = idedrv.NewDevil(p, cfg)
 	} else {
 		drv = idedrv.NewHand(p, cfg)
 	}
-	return &Host{Name: name, Clock: clk, Space: space, work: func() (uint64, error) {
-		if err := drv.Init(); err != nil {
-			return 0, err
-		}
-		buf := make([]byte, sectors*simide.SectorSize)
-		if err := drv.ReadSectors(0, buf); err != nil {
-			return 0, err
-		}
-		return uint64(len(buf)), nil
-	}}
+	h.Clock, h.Space = clk, space
+	h.parts = []snap.Snapshotter{clk, space, mem, irq, disk, drv}
+	h.steps = []step{
+		{name: "init", run: func() (uint64, error) { return 0, drv.Init() }},
+		{name: "read", run: func() (uint64, error) {
+			buf := make([]byte, sectors*simide.SectorSize)
+			if err := drv.ReadSectors(0, buf); err != nil {
+				return 0, err
+			}
+			return uint64(len(buf)), nil
+		}},
+	}
 }
 
-// NewGfxHost builds a host that fills n size×size rectangles on its own
+// buildGfx wires a host that fills Rects Size×Size rectangles on its own
 // Permedia2 model at 8 bpp and drains the engine FIFO.
-func NewGfxHost(name string, v Variant, size, n int) *Host {
+func (h *Host) buildGfx() {
+	size, n := h.spec.Size, h.spec.Rects
 	clk := &bus.Clock{}
 	space := bus.NewSpace("mmio", clk, bus.DefaultMemCosts())
 	chip := simpm.New(clk, 1024, 768)
 	space.MustMap(pmBase, 0x100, chip)
 	var drv pmdrv.Driver
 	p := pmdrv.Ports{Space: space, Base: pmBase}
-	if v == Devil {
+	if h.spec.Variant == Devil {
 		drv = pmdrv.NewDevil(p)
 	} else {
 		drv = pmdrv.NewHand(p)
 	}
-	return &Host{Name: name, Clock: clk, Space: space, work: func() (uint64, error) {
-		if err := drv.Init(8); err != nil {
-			return 0, err
-		}
-		for i := 0; i < n; i++ {
-			drv.FillRect(0, 0, size, size, uint32(i))
-		}
-		// Drain: the measurement covers drawn primitives, not issued ones.
-		for space.In32(pmBase+simpm.RegInFIFOSpace)&0x3f != simpm.FIFODepth {
-		}
-		return uint64(n * size * size), nil
-	}}
+	h.Clock, h.Space = clk, space
+	h.parts = []snap.Snapshotter{clk, space, chip, drv}
+	h.steps = []step{
+		{name: "init", run: func() (uint64, error) { return 0, drv.Init(8) }},
+		{name: "draw", run: func() (uint64, error) {
+			for i := 0; i < n; i++ {
+				drv.FillRect(0, 0, size, size, uint32(i))
+			}
+			// Drain: the measurement covers drawn primitives, not issued ones.
+			for space.In32(pmBase+simpm.RegInFIFOSpace)&0x3f != simpm.FIFODepth {
+			}
+			return uint64(n * size * size), nil
+		}},
+	}
 }
 
-// NewSoundHost builds a host that streams a generated clip of revs ring
-// revolutions through its own codec+DMA+PIC rig and verifies the DAC
-// consumed exactly the clip.
-func NewSoundHost(name string, v Variant, cfg snddrv.Config, revs int) *Host {
+// buildSound wires a host that streams a generated clip of Revs ring
+// revolutions through its own codec+DMA+PIC rig, one step per revolution
+// — the suspension granularity Snapshot checkpoints at — and verifies the
+// DAC consumed exactly the clip.
+func (h *Host) buildSound() {
+	cfg := h.spec.Sound
 	rig := snddrv.NewRig()
 	var drv snddrv.Driver
-	if v == Devil {
+	if h.spec.Variant == Devil {
 		drv = snddrv.NewDevil(rig.Ports(), cfg)
 	} else {
 		drv = snddrv.NewHand(rig.Ports(), cfg)
 	}
-	return &Host{Name: name, Clock: rig.Clock, Space: rig.Space, work: func() (uint64, error) {
-		if err := drv.Init(); err != nil {
-			return 0, err
-		}
-		clip := make([]byte, cfg.RingBytes*revs)
-		for i := range clip {
-			clip[i] = byte(i>>4) ^ byte(i*11)
-		}
-		if err := drv.Play(clip); err != nil {
+	clip := make([]byte, cfg.RingBytes*h.spec.Revs)
+	for i := range clip {
+		clip[i] = byte(i>>4) ^ byte(i*11)
+	}
+	buf, revs := cfg.Pad(clip)
+	h.Clock, h.Space = rig.Clock, rig.Space
+	h.parts = []snap.Snapshotter{rig.Clock, rig.Space, rig.Mem, rig.IRQ, rig.Codec, rig.DMA, rig.PIC, drv}
+	h.steps = []step{{name: "init", run: func() (uint64, error) {
+		// A fresh run replays the clip from silence; ResetPlayback touches
+		// no bus state, so the trace is unchanged.
+		rig.Codec.ResetPlayback()
+		return 0, drv.Init()
+	}}}
+	if revs == 0 {
+		return
+	}
+	h.steps = append(h.steps, step{name: "start", run: func() (uint64, error) {
+		return 0, drv.Start(buf)
+	}})
+	for rev := 1; rev <= revs; rev++ {
+		h.steps = append(h.steps, step{
+			name: fmt.Sprintf("rev%d", rev),
+			run: func() (uint64, error) {
+				if err := drv.ServeRev(buf, rev, revs); err != nil {
+					return 0, err
+				}
+				return uint64(cfg.RingBytes), nil
+			},
+		})
+	}
+	h.steps = append(h.steps, step{name: "finish", run: func() (uint64, error) {
+		if err := drv.Finish(); err != nil {
 			return 0, err
 		}
 		if played := rig.Codec.Played(); !bytes.Equal(played, clip) {
@@ -197,8 +291,252 @@ func NewSoundHost(name string, v Variant, cfg snddrv.Config, revs int) *Host {
 		if rig.Codec.Underrun() {
 			return 0, fmt.Errorf("farm: DAC underran")
 		}
-		return uint64(len(clip)), nil
-	}}
+		return 0, nil
+	}})
+}
+
+// Observe attaches o to the host's port space (and, through the space's
+// clock, enables span attribution for this host only). Pass nil to
+// detach.
+func (h *Host) Observe(o obs.Observer) { h.Space.SetObserver(o) }
+
+// Spec returns the workload description the host was built from.
+func (h *Host) Spec() WorkloadSpec { return h.spec }
+
+// Steps returns the number of workload steps.
+func (h *Host) Steps() int { return len(h.steps) }
+
+// Pos returns the index of the next step to run: 0 before a fresh run,
+// Steps() after a complete one.
+func (h *Host) Pos() int { return h.pos }
+
+// StepName returns the name of step i.
+func (h *Host) StepName(i int) string { return h.steps[i].name }
+
+// Result is the outcome of one host's workload.
+type Result struct {
+	Name   string
+	Ops    uint64    // port/MMIO operations issued by the driver
+	Bytes  uint64    // payload bytes moved (sectors read, pixels drawn, samples played)
+	VirtNS uint64    // virtual nanoseconds the workload took on the host's clock
+	Stats  bus.Stats // full per-host operation counters
+	Err    error
+}
+
+// StepOnce runs the next workload step and reports whether the workload
+// is now complete. Statistics reset when step 0 runs, so a completed (or
+// failed) host re-runs its workload cleanly on the next call; a restored
+// host continues accumulating from its snapshot. A step error latches
+// into the host's Result and stops progress until the next fresh run.
+func (h *Host) StepOnce() (done bool, err error) {
+	if h.pos >= len(h.steps) || h.failed != nil {
+		h.pos, h.failed = 0, nil
+	}
+	if h.pos == 0 {
+		h.Space.ResetStats()
+		h.moved = 0
+		h.start = h.Clock.Now()
+	}
+	n, err := h.steps[h.pos].run()
+	if err != nil {
+		h.failed = err
+		return false, err
+	}
+	h.moved += n
+	h.pos++
+	return h.pos >= len(h.steps), nil
+}
+
+// Run executes the host's workload and returns its Result: all of it for
+// a fresh (or completed) host, the remaining steps for one restored
+// mid-workload. The Result always covers the whole workload — statistics
+// and virtual time count from step 0, whether it ran here or before the
+// snapshot.
+func (h *Host) Run() Result {
+	var err error
+	for {
+		done, e := h.StepOnce()
+		if e != nil {
+			err = e
+			break
+		}
+		if done {
+			break
+		}
+	}
+	r := Result{
+		Name:   h.Name,
+		VirtNS: h.Clock.Now() - h.start,
+		Stats:  h.Space.Stats(),
+		Err:    err,
+	}
+	if err == nil {
+		r.Bytes = h.moved
+	}
+	r.Ops = r.Stats.Ops()
+	return r
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot / restore
+
+// specCap bounds the workload sizes a snapshot may declare, far above any
+// real fleet configuration: a corrupted blob must not translate into an
+// arbitrary allocation.
+const specCap = 1 << 16
+
+// appendSpec serializes the spec fields. The observer is wiring.
+func appendSpec(dst []byte, s WorkloadSpec) []byte {
+	dst = snap.AppendU8(dst, uint8(s.Kind))
+	dst = snap.AppendU8(dst, uint8(s.Variant))
+	dst = snap.AppendU32(dst, uint32(s.Sectors))
+	dst = snap.AppendU32(dst, uint32(s.Size))
+	dst = snap.AppendU32(dst, uint32(s.Rects))
+	dst = snap.AppendU32(dst, uint32(s.Sound.Rate))
+	dst = snap.AppendBool(dst, s.Sound.Stereo)
+	dst = snap.AppendBool(dst, s.Sound.Bits16)
+	dst = snap.AppendU32(dst, uint32(s.Sound.RingBytes))
+	dst = snap.AppendU32(dst, uint32(s.Revs))
+	return dst
+}
+
+// readSpec decodes and validates the spec fields.
+func readSpec(r *snap.Reader) (WorkloadSpec, error) {
+	var s WorkloadSpec
+	s.Kind = WorkloadKind(r.U8())
+	s.Variant = Variant(r.U8())
+	s.Sectors = int(r.U32())
+	s.Size = int(r.U32())
+	s.Rects = int(r.U32())
+	s.Sound.Rate = int(r.U32())
+	s.Sound.Stereo = r.Bool()
+	s.Sound.Bits16 = r.Bool()
+	s.Sound.RingBytes = int(r.U32())
+	s.Revs = int(r.U32())
+	if err := r.Err(); err != nil {
+		return s, err
+	}
+	if s.Kind < IDE || s.Kind > Sound {
+		return s, fmt.Errorf("farm: snapshot names unknown workload kind %d", int(s.Kind))
+	}
+	if s.Variant != Hand && s.Variant != Devil {
+		return s, fmt.Errorf("farm: snapshot names unknown variant %d", int(s.Variant))
+	}
+	for _, v := range []int{s.Sectors, s.Size, s.Rects, s.Sound.RingBytes, s.Revs} {
+		if v > specCap {
+			return s, fmt.Errorf("farm: snapshot workload size %d exceeds the %d cap (corrupt blob)", v, specCap)
+		}
+	}
+	return s, nil
+}
+
+// Snapshot serializes the whole host: a "host" container blob holding a
+// "host-meta" part (name, workload spec, step cursor, byte and time
+// accounting) followed by one part blob per stateful component, in the
+// canonical order New wires them. Snapshot at a step boundary; state
+// internal to a running step is not captured.
+func (h *Host) Snapshot() ([]byte, error) {
+	if h.failed != nil {
+		return nil, fmt.Errorf("farm: host %s failed (%v); snapshot would not resume", h.Name, h.failed)
+	}
+	dst, patch := snap.AppendHeader(nil, "host")
+	dst, meta := snap.AppendHeader(dst, "host-meta")
+	dst = snap.AppendString(dst, h.Name)
+	dst = appendSpec(dst, h.spec)
+	dst = snap.AppendU32(dst, uint32(h.pos))
+	dst = snap.AppendU64(dst, h.moved)
+	dst = snap.AppendU64(dst, h.start)
+	dst = snap.FinishHeader(dst, meta)
+	var err error
+	for _, p := range h.parts {
+		if dst, err = p.MarshalState(dst); err != nil {
+			return nil, err
+		}
+	}
+	return snap.FinishHeader(dst, patch), nil
+}
+
+// RestoreHost rebuilds a host from a Snapshot blob: the wiring is
+// reconstructed by New from the embedded WorkloadSpec, then every part
+// restores its serialized state and the step cursor is reinstated, so Run
+// continues exactly where the snapshot was taken. Observers do not travel
+// in snapshots; attach one with Observe before resuming.
+func RestoreHost(data []byte) (*Host, error) {
+	hd, payload, _, err := snap.ReadHeader(data)
+	if err != nil {
+		return nil, err
+	}
+	if hd.Name != "host" {
+		return nil, fmt.Errorf("farm: blob is %q, want %q", hd.Name, "host")
+	}
+	meta, rest, err := snap.Part(payload)
+	if err != nil {
+		return nil, err
+	}
+	r, err := snap.NewReader(meta, "host-meta")
+	if err != nil {
+		return nil, err
+	}
+	name := r.String()
+	spec, specErr := readSpec(r)
+	pos := int(r.U32())
+	moved := r.U64()
+	start := r.U64()
+	if err := r.Close(); err != nil {
+		return nil, err
+	}
+	if specErr != nil {
+		return nil, specErr
+	}
+	h := New(name, spec)
+	if pos > len(h.steps) {
+		return nil, fmt.Errorf("farm: snapshot cursor at step %d, workload has %d", pos, len(h.steps))
+	}
+	for _, p := range h.parts {
+		blob, next, err := snap.Part(rest)
+		if err != nil {
+			return nil, err
+		}
+		if err := p.UnmarshalState(blob); err != nil {
+			return nil, err
+		}
+		rest = next
+	}
+	if len(rest) != 0 {
+		return nil, fmt.Errorf("farm: %d trailing bytes after host parts (state shape mismatch)", len(rest))
+	}
+	h.pos, h.moved, h.start = pos, moved, start
+	return h, nil
+}
+
+// ---------------------------------------------------------------------------
+// Deprecated constructors
+
+// NewIDEHost builds a host that DMA-reads sequential sectors from its own
+// disk model.
+//
+// Deprecated: use New with a WorkloadSpec{Kind: IDE}. This wrapper will
+// be removed one release after the snapshot work lands.
+func NewIDEHost(name string, v Variant, sectors int) *Host {
+	return New(name, WorkloadSpec{Kind: IDE, Variant: v, Sectors: sectors})
+}
+
+// NewGfxHost builds a host that fills n size×size rectangles on its own
+// Permedia2 model at 8 bpp.
+//
+// Deprecated: use New with a WorkloadSpec{Kind: Gfx}. This wrapper will
+// be removed one release after the snapshot work lands.
+func NewGfxHost(name string, v Variant, size, n int) *Host {
+	return New(name, WorkloadSpec{Kind: Gfx, Variant: v, Size: size, Rects: n})
+}
+
+// NewSoundHost builds a host that streams a generated clip of revs ring
+// revolutions through its own codec+DMA+PIC rig.
+//
+// Deprecated: use New with a WorkloadSpec{Kind: Sound}. This wrapper will
+// be removed one release after the snapshot work lands.
+func NewSoundHost(name string, v Variant, cfg snddrv.Config, revs int) *Host {
+	return New(name, WorkloadSpec{Kind: Sound, Variant: v, Sound: cfg, Revs: revs})
 }
 
 // DefaultFleet builds n hosts of the given variant cycling through the
@@ -211,12 +549,14 @@ func DefaultFleet(n int, v Variant) []*Host {
 	for i := range hosts {
 		switch i % 3 {
 		case 0:
-			hosts[i] = NewIDEHost(fmt.Sprintf("ide-%s-%d", v, i), v, 64)
+			hosts[i] = New(fmt.Sprintf("ide-%s-%d", v, i), WorkloadSpec{Kind: IDE, Variant: v, Sectors: 64})
 		case 1:
-			hosts[i] = NewGfxHost(fmt.Sprintf("gfx-%s-%d", v, i), v, 64, 32)
+			hosts[i] = New(fmt.Sprintf("gfx-%s-%d", v, i), WorkloadSpec{Kind: Gfx, Variant: v, Size: 64, Rects: 32})
 		default:
-			hosts[i] = NewSoundHost(fmt.Sprintf("snd-%s-%d", v, i), v,
-				snddrv.Config{Rate: 22050, RingBytes: 512}, 4)
+			hosts[i] = New(fmt.Sprintf("snd-%s-%d", v, i), WorkloadSpec{
+				Kind: Sound, Variant: v,
+				Sound: snddrv.Config{Rate: 22050, RingBytes: 512}, Revs: 4,
+			})
 		}
 	}
 	return hosts

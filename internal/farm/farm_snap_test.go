@@ -1,0 +1,218 @@
+package farm
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	snddrv "repro/internal/drivers/sound"
+	"repro/internal/obs"
+)
+
+func soundSpec(v Variant) WorkloadSpec {
+	return WorkloadSpec{
+		Kind: Sound, Variant: v,
+		Sound: snddrv.Config{Rate: 22050, RingBytes: 512}, Revs: 4,
+	}
+}
+
+// TestHostSnapshotMidDMA is the acceptance test for checkpoint/restore: a
+// sound host suspended mid-stream — after two of four ring revolutions,
+// i.e. between two terminal-count interrupts of the 8237 while the ring
+// is live and PEN is on — must restore into a fresh Host that produces
+// the bit-identical remainder of the attributed event stream and the
+// identical final Result, for both driver variants.
+func TestHostSnapshotMidDMA(t *testing.T) {
+	for _, v := range []Variant{Hand, Devil} {
+		t.Run(v.String(), func(t *testing.T) {
+			// Uninterrupted reference run, fully observed.
+			soloRing := obs.NewRing(1 << 16)
+			solo := New("dma", soundSpec(v))
+			solo.Observe(soloRing)
+			want := solo.Run()
+			if want.Err != nil {
+				t.Fatalf("solo run: %v", want.Err)
+			}
+
+			// Twin host, suspended between rev2 and rev3.
+			preRing := obs.NewRing(1 << 16)
+			h := New("dma", soundSpec(v))
+			h.Observe(preRing)
+			for h.Pos() < 4 {
+				if _, err := h.StepOnce(); err != nil {
+					t.Fatalf("step %s: %v", h.StepName(h.Pos()), err)
+				}
+			}
+			if name := h.StepName(h.Pos()); name != "rev3" {
+				t.Fatalf("suspended before %q, want rev3", name)
+			}
+			blob, err := h.Snapshot()
+			if err != nil {
+				t.Fatalf("snapshot: %v", err)
+			}
+
+			// Restore into a fresh machine and finish there.
+			restored, err := RestoreHost(blob)
+			if err != nil {
+				t.Fatalf("restore: %v", err)
+			}
+			if again, err := restored.Snapshot(); err != nil {
+				t.Fatalf("re-snapshot: %v", err)
+			} else if !bytes.Equal(again, blob) {
+				t.Fatalf("restore is lossy: re-snapshot differs from original blob")
+			}
+			postRing := obs.NewRing(1 << 16)
+			restored.Observe(postRing)
+			got := restored.Run()
+			if got.Err != nil {
+				t.Fatalf("restored run: %v", got.Err)
+			}
+
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("restored Result %+v != solo %+v", got, want)
+			}
+			stream := append(preRing.Events(), postRing.Events()...)
+			if !reflect.DeepEqual(stream, soloRing.Events()) {
+				t.Errorf("spliced event stream (%d pre + %d post events) != solo stream (%d events)",
+					len(preRing.Events()), len(postRing.Events()), len(soloRing.Events()))
+			}
+		})
+	}
+}
+
+// TestHostSnapshotRoundTrip snapshots every workload kind at every step
+// boundary and checks the restored host finishes with the solo Result.
+func TestHostSnapshotRoundTrip(t *testing.T) {
+	specs := []WorkloadSpec{
+		{Kind: IDE, Variant: Hand, Sectors: 16},
+		{Kind: IDE, Variant: Devil, Sectors: 16},
+		{Kind: Gfx, Variant: Hand, Size: 16, Rects: 4},
+		{Kind: Gfx, Variant: Devil, Size: 16, Rects: 4},
+		soundSpec(Hand),
+		soundSpec(Devil),
+	}
+	for _, spec := range specs {
+		name := spec.Kind.String() + "-" + spec.Variant.String()
+		t.Run(name, func(t *testing.T) {
+			want := New(name, spec).Run()
+			if want.Err != nil {
+				t.Fatalf("solo run: %v", want.Err)
+			}
+			steps := New(name, spec).Steps()
+			for cut := 0; cut <= steps; cut++ {
+				// twin runs straight through; h is snapshotted and
+				// restored at the cut. Snapshot/restore must be
+				// transparent: both finish with the same Result.
+				twin := New(name, spec)
+				h := New(name, spec)
+				for h.Pos() < cut {
+					if _, err := h.StepOnce(); err != nil {
+						t.Fatalf("cut %d, step %s: %v", cut, h.StepName(h.Pos()), err)
+					}
+					if _, err := twin.StepOnce(); err != nil {
+						t.Fatalf("cut %d: twin: %v", cut, err)
+					}
+				}
+				blob, err := h.Snapshot()
+				if err != nil {
+					t.Fatalf("cut %d: snapshot: %v", cut, err)
+				}
+				restored, err := RestoreHost(blob)
+				if err != nil {
+					t.Fatalf("cut %d: restore: %v", cut, err)
+				}
+				if restored.Pos() != cut || restored.Name != name {
+					t.Fatalf("cut %d: restored at pos %d as %q", cut, restored.Pos(), restored.Name)
+				}
+				got, ref := restored.Run(), twin.Run()
+				if !reflect.DeepEqual(got, ref) {
+					t.Errorf("cut %d: restored Result %+v != twin %+v", cut, got, ref)
+				}
+				// Mid-workload restores also match the uninterrupted
+				// fresh run. (A host restored at the very end re-runs on
+				// warm device state — stub shadow registers may elide
+				// writes a cold machine issues — so only the twin
+				// comparison applies there.)
+				if cut < steps && !reflect.DeepEqual(got, want) {
+					t.Errorf("cut %d: restored Result %+v != solo %+v", cut, got, want)
+				}
+			}
+		})
+	}
+}
+
+// TestRestoreHostRejectsCorruption feeds RestoreHost truncations and
+// bit-flips of a valid snapshot: every outcome must be a clean error or a
+// clean success, never a panic or an oversized allocation.
+func TestRestoreHostRejectsCorruption(t *testing.T) {
+	h := New("victim", soundSpec(Devil))
+	for h.Pos() < 3 {
+		if _, err := h.StepOnce(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	blob, err := h.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := RestoreHost(nil); err == nil {
+		t.Error("RestoreHost(nil) succeeded")
+	}
+	for cut := 0; cut < len(blob); cut += 1 + len(blob)/97 {
+		if _, err := RestoreHost(blob[:cut]); err == nil {
+			t.Errorf("truncation to %d bytes restored successfully", cut)
+		}
+	}
+	for off := 0; off < len(blob); off += 1 + len(blob)/211 {
+		mut := append([]byte(nil), blob...)
+		mut[off] ^= 0xa5
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("bit flip at %d: RestoreHost panicked: %v", off, r)
+				}
+			}()
+			_, _ = RestoreHost(mut) // must not panic; error or not is fine
+		}()
+	}
+}
+
+// TestRestoreHostRejectsOversizedSpec checks the workload-size cap: a
+// snapshot declaring an absurd workload must be refused before any
+// allocation happens.
+func TestRestoreHostRejectsOversizedSpec(t *testing.T) {
+	h := New("big", WorkloadSpec{Kind: IDE, Variant: Hand, Sectors: specCap + 1})
+	if _, err := h.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	blob, err := h.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RestoreHost(blob); err == nil {
+		t.Error("RestoreHost accepted a spec beyond the size cap")
+	}
+}
+
+// TestDeprecatedConstructors keeps the one-release compatibility shims
+// honest: they must build hosts identical to the New equivalents.
+func TestDeprecatedConstructors(t *testing.T) {
+	cfg := snddrv.Config{Rate: 22050, RingBytes: 512}
+	pairs := []struct {
+		name     string
+		old, new *Host
+	}{
+		{"ide", NewIDEHost("h", Devil, 8), New("h", WorkloadSpec{Kind: IDE, Variant: Devil, Sectors: 8})},
+		{"gfx", NewGfxHost("h", Hand, 16, 2), New("h", WorkloadSpec{Kind: Gfx, Variant: Hand, Size: 16, Rects: 2})},
+		{"snd", NewSoundHost("h", Devil, cfg, 2), New("h", WorkloadSpec{Kind: Sound, Variant: Devil, Sound: cfg, Revs: 2})},
+	}
+	for _, p := range pairs {
+		if p.old.Spec() != p.new.Spec() {
+			t.Errorf("%s: wrapper spec %+v != New spec %+v", p.name, p.old.Spec(), p.new.Spec())
+		}
+		if got, want := p.old.Run(), p.new.Run(); !reflect.DeepEqual(got, want) {
+			t.Errorf("%s: wrapper Result %+v != New Result %+v", p.name, got, want)
+		}
+	}
+}

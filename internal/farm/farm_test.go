@@ -77,8 +77,9 @@ func TestFleetObservers(t *testing.T) {
 // span tracking enabled.
 func TestFleetObserverIsolation(t *testing.T) {
 	cfg := snddrv.Config{Rate: 22050, RingBytes: 512}
-	observed := NewSoundHost("observed", Devil, cfg, 4)
-	idle := NewSoundHost("idle", Devil, cfg, 4)
+	spec := WorkloadSpec{Kind: Sound, Variant: Devil, Sound: cfg, Revs: 4}
+	observed := New("observed", spec)
+	idle := New("idle", spec)
 	ring := obs.NewRing(1 << 14)
 	observed.Observe(ring)
 

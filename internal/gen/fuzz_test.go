@@ -1,0 +1,77 @@
+package gen_test
+
+import (
+	"testing"
+
+	"repro/internal/bus"
+	snddrv "repro/internal/drivers/sound"
+	"repro/internal/farm"
+	"repro/internal/gen"
+)
+
+// FuzzUnmarshalState feeds arbitrary bytes to every registered
+// simulator's UnmarshalState and to farm.RestoreHost. The decoder
+// contract under attack: arbitrary input returns an error or decodes
+// cleanly — it never panics and never reports success on a blob it then
+// cannot re-serialize. The checked-in corpus under testdata/fuzz pins
+// the interesting header corruptions (truncated magic, wrong version,
+// oversized name and payload lengths).
+func FuzzUnmarshalState(f *testing.F) {
+	// Seed with every simulator's fresh snapshot and one mid-workload
+	// host container, so the fuzzer starts from structurally valid blobs.
+	for _, d := range gen.Devices {
+		var clk bus.Clock
+		blob, err := d.NewSim(&clk, newDeviceSpace(&clk, d)).MarshalState(nil)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(blob)
+		if len(blob) > 8 {
+			f.Add(blob[:len(blob)/2])
+		}
+	}
+	h := farm.New("seed", farm.WorkloadSpec{
+		Kind: farm.Sound, Variant: farm.Devil,
+		Sound: snddrv.Config{Rate: 22050, RingBytes: 512}, Revs: 2,
+	})
+	for h.Pos() < 3 {
+		if _, err := h.StepOnce(); err != nil {
+			f.Fatal(err)
+		}
+	}
+	host, err := h.Snapshot()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(host)
+
+	// Victims are reused across iterations: a decoder that leaves a
+	// simulator in a state whose next restore panics is also a bug.
+	victims := make([]struct {
+		name string
+		dev  interface {
+			UnmarshalState([]byte) error
+			MarshalState([]byte) ([]byte, error)
+		}
+	}, len(gen.Devices))
+	for i, d := range gen.Devices {
+		var clk bus.Clock
+		victims[i].name = d.Name
+		victims[i].dev = d.NewSim(&clk, newDeviceSpace(&clk, d))
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		for _, v := range victims {
+			if err := v.dev.UnmarshalState(data); err == nil {
+				if _, err := v.dev.MarshalState(nil); err != nil {
+					t.Fatalf("%s: accepted a blob it cannot re-marshal: %v", v.name, err)
+				}
+			}
+		}
+		if h, err := farm.RestoreHost(data); err == nil {
+			if _, err := h.Snapshot(); err != nil {
+				t.Fatalf("farm: restored a host it cannot re-snapshot: %v", err)
+			}
+		}
+	})
+}

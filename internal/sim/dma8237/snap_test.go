@@ -1,0 +1,93 @@
+package dma8237
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestSnapshotMidBytePair is the regression test for the §2.2 flip-flop
+// hazard across a checkpoint: snapshot the controller between the two
+// bytes of a 16-bit address write, restore into a fresh simulator, and
+// the high byte must still land in the high half. Losing the flip-flop
+// from the wire state would silently resync the pair and corrupt the
+// address.
+func TestSnapshotMidBytePair(t *testing.T) {
+	s := New()
+	s.BusWrite(PortMode, 8, ModeXferRead|ModeAutoInit|0)
+	s.BusWrite(PortClearFF, 8, 0)
+	s.BusWrite(PortAddr0, 8, 0x34) // low byte; flip-flop now points high
+	if !s.FlipFlop() {
+		t.Fatal("flip-flop should point at the high byte")
+	}
+
+	blob, err := s.MarshalState(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := New()
+	if err := r.UnmarshalState(blob); err != nil {
+		t.Fatal(err)
+	}
+	if !r.FlipFlop() {
+		t.Fatal("restored flip-flop lost the mid-pair position")
+	}
+
+	// The second byte of the pair, issued on the restored controller.
+	r.BusWrite(PortAddr0, 8, 0x12)
+	if got := r.BaseAddr0(); got != 0x1234 {
+		t.Errorf("addr = %#x after restore, want 0x1234", got)
+	}
+	if r.FlipFlop() {
+		t.Error("flip-flop must resync after the pair completes")
+	}
+
+	// The restored controller still runs a full auto-init revolution:
+	// program a count, unmask, transfer past terminal count, and the
+	// current registers reload from the restored base values.
+	r.BusWrite(PortClearFF, 8, 0)
+	r.BusWrite(PortCount0, 8, 7)
+	r.BusWrite(PortCount0, 8, 0)
+	r.BusWrite(PortMask, 8, 0)
+	if got := r.Transfer(100); got != 8 {
+		t.Fatalf("transferred %d cycles, want 8", got)
+	}
+	if r.CurAddr0() != r.BaseAddr0() || r.CurCount0() != r.BaseCount0() {
+		t.Errorf("auto-init reload broken after restore: cur %#x/%d, base %#x/%d",
+			r.CurAddr0(), r.CurCount0(), r.BaseAddr0(), r.BaseCount0())
+	}
+}
+
+// TestSnapshotMidRevolution checkpoints a live auto-init transfer halfway
+// through a revolution and checks the restored controller finishes the
+// revolution with the exact remaining cycle count and reloads at TC.
+func TestSnapshotMidRevolution(t *testing.T) {
+	s := New()
+	write16(s, PortAddr0, 0x2000)
+	write16(s, PortCount0, 15) // 16-cycle revolutions
+	s.BusWrite(PortMode, 8, ModeXferRead|ModeAutoInit|0)
+	s.BusWrite(PortMask, 8, 0)
+	if got := s.Transfer(10); got != 10 {
+		t.Fatalf("first burst = %d, want 10", got)
+	}
+
+	blob, err := s.MarshalState(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := New()
+	if err := r.UnmarshalState(blob); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := r.MarshalState(nil); err != nil || !bytes.Equal(got, blob) {
+		t.Fatalf("restore is lossy (err %v)", err)
+	}
+	if got := r.Transfer(100); got != 6 {
+		t.Fatalf("restored revolution remainder = %d cycles, want 6", got)
+	}
+	if r.CurAddr0() != 0x2000 || r.CurCount0() != 15 {
+		t.Errorf("post-TC reload: cur = %#x/%d, want 0x2000/15", r.CurAddr0(), r.CurCount0())
+	}
+	if st := r.BusRead(PortStatus, 8); st&0x01 == 0 {
+		t.Errorf("TC flag not set after restored revolution, status %#x", st)
+	}
+}

@@ -1,0 +1,26 @@
+// Package sim defines the common contract of the register-accurate device
+// simulators in its subpackages. Every simulator implements Device:
+// power-on Reset (wiring and construction parameters intact) plus the
+// snapshot pair, so a whole machine's device state can be checkpointed,
+// restored into freshly built simulators, and resumed bit-identically.
+// The per-device table wiring simulators to their Devil stubs lives next
+// to the stub registry in internal/gen.
+package sim
+
+import "repro/internal/snap"
+
+// Device is implemented by every simulator: busmouse, cs4236, dma8237,
+// ide (which also carries the PIIX4 busmaster function), ne2000,
+// permedia2, and pic8259.
+type Device interface {
+	// Reset returns the device to its power-on state, as its package New
+	// constructor built it. Wiring callbacks and construction parameters
+	// (clock, memory, geometry) are preserved.
+	Reset()
+
+	// MarshalState/UnmarshalState serialize the complete device state —
+	// registers, internal automata, counters, and on-device memory — so a
+	// restored simulator continues bit-identically. Wiring is not
+	// serialized; restore into a simulator constructed like the original.
+	snap.Snapshotter
+}
