@@ -5,13 +5,18 @@
 //
 // Usage:
 //
-//	devil-mutate [-device substring]
+//	devil-mutate [-device substring] [-codes] [-bitops]
+//
+// -codes refines the Devil rows: every detected specification mutant is
+// attributed to the diagnostic code(s) that rejected it, so the table
+// shows which §3.1 consistency property does the catching.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 
 	"repro/internal/mutation"
 )
@@ -19,10 +24,31 @@ import (
 func main() {
 	device := flag.String("device", "", "restrict to devices matching this substring")
 	bitops := flag.Bool("bitops", false, "report the §1 bit-operation share instead")
+	codes := flag.Bool("codes", false, "attribute detected Devil mutants to diagnostic codes")
 	flag.Parse()
 
 	if *bitops {
 		fmt.Print(mutation.BitOpReport())
+		return
+	}
+	if *codes {
+		coded, err := mutation.DevilCodes(*device)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "devil-mutate:", err)
+			os.Exit(1)
+		}
+		if len(coded) == 0 {
+			fmt.Fprintln(os.Stderr, "devil-mutate: no device matches", *device)
+			os.Exit(1)
+		}
+		var names []string
+		for name := range coded {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			fmt.Print(mutation.FormatCodeTable(name, coded[name]))
+		}
 		return
 	}
 

@@ -5,9 +5,15 @@
 //
 //	devilc [-check] [-pkg name] [-debug] [-O level] [-o out.go] spec.dil
 //	devilc -update [-root dir] [-O level]
+//	devilc vet [-json] [-Werror] [-Wall] [-suppress CODES] spec.dil...
+//	devilc vet -codes
 //
 // With -check the specification is only verified (§3.1 properties) and
 // diagnostics are printed. Otherwise Go stubs are written to -o (or stdout).
+//
+// The vet subcommand reports structured diagnostics: compiler errors (E…)
+// and the warning-grade spec analyses of internal/devil/lint (W…), in text
+// or -json form, with per-code suppression and -Werror gating for CI.
 //
 // -O selects the optimization level of the generated port-access plans:
 // -O 1 (the default) enables all peephole passes — coalesce, constfold,
@@ -32,6 +38,12 @@ import (
 )
 
 func main() {
+	// Subcommand form: `devilc vet [flags] spec.dil...` — structured
+	// diagnostics (E… errors + W… spec analyses) in text or JSON.
+	if len(os.Args) > 1 && os.Args[1] == "vet" {
+		os.Exit(runVet(os.Args[2:], os.Stdout, os.Stderr))
+	}
+
 	checkOnly := flag.Bool("check", false, "verify the specification only")
 	pkg := flag.String("pkg", "", "generated package name (default: device name)")
 	debug := flag.Bool("debug", false, "generate with runtime checks enabled")

@@ -1,0 +1,108 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/devil/diag"
+	"repro/internal/devil/lint"
+)
+
+// runVet implements `devilc vet [flags] spec.dil...`: compile each
+// specification and report structured diagnostics — hard compiler errors
+// (E…) plus the warning-grade spec analyses (W…) of package lint.
+//
+// Exit status: 0 when no reportable diagnostic was found, 1 when one
+// was (warnings count only under -Werror), 2 on usage or I/O errors.
+func runVet(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("devilc vet", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	jsonOut := fs.Bool("json", false, "emit diagnostics as JSON")
+	werror := fs.Bool("Werror", false, "treat warnings as errors (exit 1 on any finding)")
+	wall := fs.Bool("Wall", false, "enable default-off advisory codes")
+	suppress := fs.String("suppress", "", "comma-separated diagnostic codes to suppress")
+	codes := fs.Bool("codes", false, "print the diagnostic code catalog and exit")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if *codes {
+		printCodes(stdout)
+		return 0
+	}
+	if fs.NArg() == 0 {
+		fmt.Fprintln(stderr, "usage: devilc vet [-json] [-Werror] [-Wall] [-suppress CODES] spec.dil...")
+		return 2
+	}
+
+	suppressed := map[diag.Code]bool{}
+	for _, s := range strings.Split(*suppress, ",") {
+		if s = strings.TrimSpace(s); s != "" {
+			if !diag.Known(diag.Code(s)) {
+				fmt.Fprintf(stderr, "devilc vet: unknown code %s in -suppress\n", s)
+				return 2
+			}
+			suppressed[diag.Code(s)] = true
+		}
+	}
+
+	var all diag.List
+	for _, file := range fs.Args() {
+		src, err := os.ReadFile(file)
+		if err != nil {
+			fmt.Fprintln(stderr, "devilc vet:", err)
+			return 2
+		}
+		diags := lint.CheckSource(src)
+		for _, d := range diags {
+			if suppressed[d.Code] {
+				continue
+			}
+			if info, ok := diag.Lookup(d.Code); ok && info.DefaultOff && !*wall {
+				continue
+			}
+			d.File = file
+			all = append(all, d)
+		}
+	}
+	all.Sort()
+
+	if *jsonOut {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if all == nil {
+			all = diag.List{} // encode as [], not null
+		}
+		if err := enc.Encode(all); err != nil {
+			fmt.Fprintln(stderr, "devilc vet:", err)
+			return 2
+		}
+	} else {
+		for _, d := range all {
+			fmt.Fprintln(stdout, d.String())
+			if d.Hint != "" {
+				fmt.Fprintf(stdout, "\thint: %s\n", d.Hint)
+			}
+		}
+	}
+
+	if all.HasErrors() || (*werror && len(all) > 0) {
+		return 1
+	}
+	return 0
+}
+
+// printCodes renders the registered diagnostic catalog.
+func printCodes(w io.Writer) {
+	for _, info := range diag.Codes() {
+		flags := ""
+		if info.DefaultOff {
+			flags = " (default off, enable with -Wall)"
+		}
+		fmt.Fprintf(w, "%s  %-7s %s%s\n", info.Code, info.Severity, info.Summary, flags)
+	}
+}

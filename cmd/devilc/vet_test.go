@@ -1,0 +1,201 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/devil/diag"
+)
+
+var update = flag.Bool("update", false, "rewrite the vet golden files")
+
+// libSpecs returns the checked-in library specification files.
+func libSpecs(t *testing.T) []string {
+	t.Helper()
+	files, err := filepath.Glob(filepath.FromSlash("../../internal/specs/*.dil"))
+	if err != nil || len(files) == 0 {
+		t.Fatalf("globbing library specs: %v (%d files)", err, len(files))
+	}
+	sort.Strings(files)
+	return files
+}
+
+// TestVetLibraryClean pins the standing guard the CI lint job relies on:
+// every library specification is free of diagnostics, even with the
+// default-off advisory codes enabled and warnings promoted to errors.
+func TestVetLibraryClean(t *testing.T) {
+	var out, errOut bytes.Buffer
+	args := append([]string{"-Wall", "-Werror"}, libSpecs(t)...)
+	if rc := runVet(args, &out, &errOut); rc != 0 {
+		t.Errorf("vet -Wall -Werror over library: rc=%d, want 0", rc)
+	}
+	if out.Len() != 0 || errOut.Len() != 0 {
+		t.Errorf("vet over library not silent:\nstdout: %s\nstderr: %s", out.String(), errOut.String())
+	}
+}
+
+// TestVetGolden locks the exact text output (positions, codes, messages,
+// hints) of vet -Wall over each synthetic bad spec in testdata/vet.
+// Regenerate with `go test ./cmd/devilc -run TestVetGolden -update`.
+func TestVetGolden(t *testing.T) {
+	cases := []struct {
+		name string
+		rc   int
+	}{
+		{"check", 1},  // §3.1 errors: E204 unowned bits, E208 dead register
+		{"err", 1},    // resolve error: E102 unknown port
+		{"syntax", 1}, // parse errors: E001
+		{"w301", 0},   // dead variable (plus its orphaned W302/W304 ports)
+		{"w302", 0},   // write-only register read back
+		{"w303", 0},   // constant snapshot slot
+		{"w304", 0},   // dead write port
+		{"w305", 0},   // volatile candidate (cs4236 pi shape)
+		{"w306", 0},   // elision downgrades (-Wall only)
+		{"w307", 0},   // shadowed enum symbol
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			spec := filepath.Join("testdata", "vet", tc.name+".dil")
+			var out, errOut bytes.Buffer
+			rc := runVet([]string{"-Wall", spec}, &out, &errOut)
+			if rc != tc.rc {
+				t.Errorf("rc=%d, want %d (stderr: %s)", rc, tc.rc, errOut.String())
+			}
+			golden := filepath.Join("testdata", "vet", tc.name+".golden")
+			got := strings.ReplaceAll(out.String(), string(filepath.Separator), "/")
+			if *update {
+				if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("missing golden (run with -update): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("output mismatch\n--- got ---\n%s--- want ---\n%s", got, want)
+			}
+		})
+	}
+}
+
+// TestVetWerror checks the warning gating: a warning-only spec passes by
+// default and fails under -Werror, without changing the printed output.
+func TestVetWerror(t *testing.T) {
+	spec := filepath.Join("testdata", "vet", "w305.dil")
+	var out bytes.Buffer
+	if rc := runVet([]string{spec}, &out, &out); rc != 0 {
+		t.Errorf("warnings-only spec: rc=%d, want 0", rc)
+	}
+	if !strings.Contains(out.String(), "W305") {
+		t.Errorf("expected W305 in output, got: %s", out.String())
+	}
+	out.Reset()
+	if rc := runVet([]string{"-Werror", spec}, &out, &out); rc != 1 {
+		t.Errorf("-Werror over warnings-only spec: rc=%d, want 1", rc)
+	}
+}
+
+// TestVetSuppress checks per-code suppression, including that unknown
+// codes in -suppress are a usage error.
+func TestVetSuppress(t *testing.T) {
+	spec := filepath.Join("testdata", "vet", "w305.dil")
+	var out, errOut bytes.Buffer
+	if rc := runVet([]string{"-Werror", "-suppress", "W305", spec}, &out, &errOut); rc != 0 {
+		t.Errorf("suppressed: rc=%d, want 0 (out: %s)", rc, out.String())
+	}
+	if out.Len() != 0 {
+		t.Errorf("suppressed code still printed: %s", out.String())
+	}
+	if rc := runVet([]string{"-suppress", "W999", spec}, &out, &errOut); rc != 2 {
+		t.Errorf("unknown -suppress code: rc=%d, want 2", rc)
+	}
+	if !strings.Contains(errOut.String(), "W999") {
+		t.Errorf("unknown-code error should name W999: %s", errOut.String())
+	}
+}
+
+// TestVetWallGating checks that W306 findings only appear under -Wall.
+func TestVetWallGating(t *testing.T) {
+	spec := filepath.Join("testdata", "vet", "w306.dil")
+	var out bytes.Buffer
+	if rc := runVet([]string{spec}, &out, &out); rc != 0 || out.Len() != 0 {
+		t.Errorf("default-off code leaked without -Wall: rc=%d out=%s", rc, out.String())
+	}
+	out.Reset()
+	runVet([]string{"-Wall", spec}, &out, &out)
+	if n := strings.Count(out.String(), "W306"); n != 2 {
+		t.Errorf("want 2 W306 findings under -Wall, got %d:\n%s", n, out.String())
+	}
+}
+
+// TestVetJSON checks the machine-readable form: a valid JSON array whose
+// entries carry registered codes, 1-based positions, and the file name;
+// an empty result encodes as [] rather than null.
+func TestVetJSON(t *testing.T) {
+	spec := filepath.Join("testdata", "vet", "w301.dil")
+	var out, errOut bytes.Buffer
+	if rc := runVet([]string{"-json", spec}, &out, &errOut); rc != 0 {
+		t.Fatalf("rc=%d stderr=%s", rc, errOut.String())
+	}
+	var diags []diag.Diagnostic
+	if err := json.Unmarshal(out.Bytes(), &diags); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, out.String())
+	}
+	if len(diags) == 0 {
+		t.Fatal("want findings in w301.dil")
+	}
+	for _, d := range diags {
+		if !diag.Known(d.Code) {
+			t.Errorf("unregistered code %s in JSON output", d.Code)
+		}
+		if d.Line < 1 || d.Column < 1 {
+			t.Errorf("%s: non-positive position %d:%d", d.Code, d.Line, d.Column)
+		}
+		if filepath.ToSlash(d.File) != "testdata/vet/w301.dil" {
+			t.Errorf("wrong file attribution: %q", d.File)
+		}
+		if d.Msg == "" {
+			t.Errorf("%s: empty message", d.Code)
+		}
+	}
+
+	out.Reset()
+	if rc := runVet([]string{"-json", libSpecs(t)[0]}, &out, &errOut); rc != 0 {
+		t.Fatalf("clean spec: rc=%d", rc)
+	}
+	if strings.TrimSpace(out.String()) != "[]" {
+		t.Errorf("clean spec should encode as [], got: %s", out.String())
+	}
+}
+
+// TestVetCodesCatalog checks that -codes lists every registered code.
+func TestVetCodesCatalog(t *testing.T) {
+	var out bytes.Buffer
+	if rc := runVet([]string{"-codes"}, &out, &out); rc != 0 {
+		t.Fatalf("rc=%d", rc)
+	}
+	for _, info := range diag.Codes() {
+		if !strings.Contains(out.String(), string(info.Code)) {
+			t.Errorf("catalog missing %s", info.Code)
+		}
+	}
+}
+
+// TestVetUsage checks the usage error paths.
+func TestVetUsage(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if rc := runVet(nil, &out, &errOut); rc != 2 {
+		t.Errorf("no args: rc=%d, want 2", rc)
+	}
+	if rc := runVet([]string{"testdata/vet/does-not-exist.dil"}, &out, &errOut); rc != 2 {
+		t.Errorf("missing file: rc=%d, want 2", rc)
+	}
+}

@@ -1,7 +1,9 @@
 // Speclint: walk the specification library — the paper's envisioned "public
 // domain library of Devil specifications" — check every device, and print
 // its functional interface: exactly what a driver writer gets to program
-// against, with registers and ports hidden.
+// against, with registers and ports hidden. Each device also runs through
+// the warning-grade vet analyses (the library must be clean, so any W3xx
+// finding here is a regression).
 package main
 
 import (
@@ -10,6 +12,7 @@ import (
 	"sort"
 
 	"repro/internal/core"
+	"repro/internal/devil/lint"
 	"repro/internal/devil/sema"
 	"repro/internal/specs"
 )
@@ -34,6 +37,7 @@ func main() {
 	}
 	sort.Strings(names)
 
+	clean := true
 	for _, name := range names {
 		spec, err := core.Compile(lib[name])
 		if err != nil {
@@ -41,6 +45,14 @@ func main() {
 		}
 		fmt.Printf("device %s: %d registers, %d structures, interface:\n",
 			spec.Name, len(spec.Registers), len(spec.Structures))
+		for _, d := range lint.Check(spec) {
+			fmt.Printf("  vet: %s: %s", d.Code, d.Msg)
+			if d.Hint != "" {
+				fmt.Printf(" (%s)", d.Hint)
+			}
+			fmt.Println()
+			clean = false
+		}
 		for _, v := range spec.Interface() {
 			attrs := ""
 			if v.Volatile {
@@ -59,5 +71,8 @@ func main() {
 			fmt.Printf("  %s %-14s : %s%s%s\n", access(v), v.Name, v.Type, attrs, owner)
 		}
 		fmt.Println()
+	}
+	if !clean {
+		log.Fatal("specification library has vet findings")
 	}
 }

@@ -1,0 +1,126 @@
+// Package analysistest runs an analyzer over fixture packages under a
+// testdata/src directory and checks its findings against `// want`
+// comments, mirroring golang.org/x/tools/go/analysis/analysistest on the
+// standard library alone.
+//
+// A fixture line expecting a finding carries a trailing comment:
+//
+//	s.In8(0) // want `raw port read`
+//
+// The backquoted string is a regular expression that must match the
+// message of a finding reported on that line. Lines without a want
+// comment must produce no finding, and every want must be matched.
+package analysistest
+
+import (
+	"fmt"
+	"path/filepath"
+	"regexp"
+	"runtime"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// wantRe extracts the expectation from a `// want` comment. Both
+// backquoted and double-quoted patterns are accepted.
+var wantRe = regexp.MustCompile("// want (`([^`]*)`|\"([^\"]*)\")")
+
+// moduleRoot locates the repository root (the directory holding go.mod)
+// relative to this source file, so fixtures resolve imports against the
+// real module's export data regardless of the test's working directory.
+func moduleRoot() (string, error) {
+	_, file, _, ok := runtime.Caller(0)
+	if !ok {
+		return "", fmt.Errorf("analysistest: cannot locate caller")
+	}
+	// internal/analysis/analysistest/analysistest.go → repository root.
+	return filepath.Dir(filepath.Dir(filepath.Dir(filepath.Dir(file)))), nil
+}
+
+// Run loads each named fixture package from testdata/src/<pkg>, applies
+// the analyzer, and reports mismatches between findings and `// want`
+// expectations as test errors.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgs ...string) {
+	t.Helper()
+	root, err := moduleRoot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range pkgs {
+		dir := filepath.Join(testdata, "src", name)
+		pkg, err := analysis.LoadDir(root, dir)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		findings, err := analysis.Run([]*analysis.Package{pkg}, []*analysis.Analyzer{a})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		check(t, pkg, findings)
+	}
+}
+
+// want is one expectation: a pattern attached to a file line.
+type want struct {
+	file    string
+	line    int
+	pattern *regexp.Regexp
+	matched bool
+}
+
+// collectWants scans the fixture's comments for `// want` expectations.
+func collectWants(t *testing.T, pkg *analysis.Package) []*want {
+	t.Helper()
+	var wants []*want
+	for _, f := range pkg.Syntax {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					if strings.Contains(c.Text, "want ") && strings.Contains(c.Text, "`") {
+						t.Errorf("%s: malformed want comment: %s",
+							pkg.Fset.Position(c.Pos()), c.Text)
+					}
+					continue
+				}
+				pat := m[2]
+				if pat == "" {
+					pat = m[3]
+				}
+				re, err := regexp.Compile(pat)
+				if err != nil {
+					t.Fatalf("%s: bad want pattern %q: %v", pkg.Fset.Position(c.Pos()), pat, err)
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				wants = append(wants, &want{file: pos.Filename, line: pos.Line, pattern: re})
+			}
+		}
+	}
+	return wants
+}
+
+// check matches findings against expectations one-to-one per line.
+func check(t *testing.T, pkg *analysis.Package, findings []analysis.Finding) {
+	t.Helper()
+	wants := collectWants(t, pkg)
+	for _, f := range findings {
+		ok := false
+		for _, w := range wants {
+			if !w.matched && w.file == f.File && w.line == f.Line && w.pattern.MatchString(f.Message) {
+				w.matched = true
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Errorf("unexpected finding: %s", f)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: expected finding matching %q, got none", w.file, w.line, w.pattern)
+		}
+	}
+}

@@ -1,0 +1,187 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// listPackage is the subset of `go list -json` output the loader reads.
+type listPackage struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string
+	Standard   bool
+	DepOnly    bool
+	Export     string
+	Error      *struct{ Err string }
+}
+
+// goList runs `go list -deps -export -json patterns...` in dir and
+// returns the decoded package stream. The -export flag makes the go
+// command compile every package and report the path of its export data,
+// which is what lets the type checker resolve imports without the
+// golang.org/x/tools loader: export data is a complete, compiler-written
+// description of a package's API.
+func goList(dir string, patterns ...string) ([]*listPackage, error) {
+	args := append([]string{"list", "-deps", "-export", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var out, errBuf bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &out, &errBuf
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("analysis: go list: %v\n%s", err, errBuf.String())
+	}
+	var pkgs []*listPackage
+	dec := json.NewDecoder(&out)
+	for {
+		var p listPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("analysis: decoding go list output: %v", err)
+		}
+		pkgs = append(pkgs, &p)
+	}
+	return pkgs, nil
+}
+
+// exportImporter resolves imports from the export-data files a
+// `go list -export` run produced.
+type exportImporter struct {
+	inner types.Importer
+}
+
+func newExportImporter(fset *token.FileSet, exports map[string]string) *exportImporter {
+	lookup := func(path string) (io.ReadCloser, error) {
+		file, ok := exports[path]
+		if !ok || file == "" {
+			return nil, fmt.Errorf("analysis: no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	return &exportImporter{inner: importer.ForCompiler(fset, "gc", lookup)}
+}
+
+// Import implements types.Importer.
+func (i *exportImporter) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	return i.inner.Import(path)
+}
+
+// Load loads and type-checks the packages matching patterns, resolved in
+// dir (the module root or any directory inside it). Test files are not
+// loaded: the analyzers enforce invariants of shipped code, and fixture
+// packages of the analyzers themselves live under testdata, which the go
+// tool never matches.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	listed, err := goList(dir, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	exports := map[string]string{}
+	var targets []*listPackage
+	for _, p := range listed {
+		if p.Error != nil {
+			return nil, fmt.Errorf("analysis: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if !p.DepOnly && !p.Standard {
+			targets = append(targets, p)
+		}
+	}
+	sort.Slice(targets, func(i, j int) bool { return targets[i].ImportPath < targets[j].ImportPath })
+
+	fset := token.NewFileSet()
+	imp := newExportImporter(fset, exports)
+	var out []*Package
+	for _, t := range targets {
+		files := make([]string, len(t.GoFiles))
+		for i, f := range t.GoFiles {
+			files[i] = filepath.Join(t.Dir, f)
+		}
+		pkg, err := typeCheck(fset, imp, t.ImportPath, t.Dir, files)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	return out, nil
+}
+
+// LoadDir loads and type-checks the single package rooted at dir without
+// consulting the module graph for its own identity — the analysistest
+// fixture case, where the package directory lives under testdata and is
+// invisible to `go list`. Imports resolve against the export data of
+// moduleDir's full package graph, so fixtures may import real repository
+// packages. The package's path is its directory base name.
+func LoadDir(moduleDir, dir string) (*Package, error) {
+	listed, err := goList(moduleDir, "./...")
+	if err != nil {
+		return nil, err
+	}
+	exports := map[string]string{}
+	for _, p := range listed {
+		if p.Error == nil && p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			files = append(files, filepath.Join(dir, e.Name()))
+		}
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("analysis: no Go files in %s", dir)
+	}
+	sort.Strings(files)
+	fset := token.NewFileSet()
+	return typeCheck(fset, newExportImporter(fset, exports), filepath.Base(dir), dir, files)
+}
+
+// typeCheck parses files and type-checks them as one package.
+func typeCheck(fset *token.FileSet, imp types.Importer, path, dir string, files []string) (*Package, error) {
+	var syntax []*ast.File
+	for _, f := range files {
+		af, err := parser.ParseFile(fset, f, nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: %v", err)
+		}
+		syntax = append(syntax, af)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(path, fset, syntax, info)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: type-checking %s: %v", path, err)
+	}
+	return &Package{
+		Path: path, Dir: dir, GoFiles: files,
+		Fset: fset, Syntax: syntax, Types: tpkg, TypesInfo: info,
+	}, nil
+}

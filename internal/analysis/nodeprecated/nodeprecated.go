@@ -1,0 +1,134 @@
+// Package nodeprecated defines an analyzer forbidding calls to
+// deprecated functions.
+//
+// A function or method whose doc comment contains a standard
+// "Deprecated:" paragraph is scheduled for removal; new references keep
+// it alive. The analyzer indexes every deprecated declaration in the
+// loaded project (doc comments do not survive into export data, so the
+// index is built from the syntax of the whole load — run it over ./...
+// to see cross-package markers) and flags uses outside the declaring
+// function itself.
+package nodeprecated
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the nodeprecated analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "nodeprecated",
+	Doc:  "flag uses of functions whose doc comment carries a Deprecated: notice",
+	Run:  run,
+}
+
+// isDeprecated reports whether doc carries a "Deprecated:" paragraph.
+func isDeprecated(doc *ast.CommentGroup) bool {
+	if doc == nil {
+		return false
+	}
+	for _, line := range strings.Split(doc.Text(), "\n") {
+		if strings.HasPrefix(strings.TrimSpace(line), "Deprecated:") {
+			return true
+		}
+	}
+	return false
+}
+
+// declKey names a function declaration: "pkgpath.Func" or
+// "pkgpath.Recv.Method" with any receiver pointer stripped.
+func declKey(pkgPath string, fn *ast.FuncDecl) string {
+	if fn.Recv == nil || len(fn.Recv.List) == 0 {
+		return pkgPath + "." + fn.Name.Name
+	}
+	t := fn.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	// Generic receivers (T[P]) index on the base name.
+	if idx, ok := t.(*ast.IndexExpr); ok {
+		t = idx.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return pkgPath + "." + id.Name + "." + fn.Name.Name
+	}
+	return pkgPath + "." + fn.Name.Name
+}
+
+// objKey names a used function object in the same form as declKey.
+func objKey(fn *types.Func) string {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || fn.Pkg() == nil {
+		return ""
+	}
+	if recv := sig.Recv(); recv != nil {
+		t := recv.Type()
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		if n, ok := t.(*types.Named); ok {
+			return fn.Pkg().Path() + "." + n.Obj().Name() + "." + fn.Name()
+		}
+		return ""
+	}
+	return fn.Pkg().Path() + "." + fn.Name()
+}
+
+// index collects every deprecated function declaration in the project.
+func index(project []*analysis.Package) map[string]bool {
+	dep := map[string]bool{}
+	for _, pkg := range project {
+		for _, f := range pkg.Syntax {
+			for _, decl := range f.Decls {
+				fn, ok := decl.(*ast.FuncDecl)
+				if !ok || !isDeprecated(fn.Doc) {
+					continue
+				}
+				dep[declKey(pkg.Types.Path(), fn)] = true
+			}
+		}
+	}
+	return dep
+}
+
+func run(pass *analysis.Pass) error {
+	deprecated := index(pass.Project)
+	if len(deprecated) == 0 {
+		return nil
+	}
+	for _, f := range pass.Files {
+		// Uses inside a deprecated declaration itself are exempt: a
+		// deprecated wrapper may call another deprecated wrapper.
+		var exempt []*ast.FuncDecl
+		for _, decl := range f.Decls {
+			if fn, ok := decl.(*ast.FuncDecl); ok && isDeprecated(fn.Doc) {
+				exempt = append(exempt, fn)
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.TypesInfo.Uses[id].(*types.Func)
+			if !ok {
+				return true
+			}
+			key := objKey(fn)
+			if key == "" || !deprecated[key] {
+				return true
+			}
+			for _, ex := range exempt {
+				if id.Pos() >= ex.Pos() && id.Pos() < ex.End() {
+					return true
+				}
+			}
+			pass.Reportf(id.Pos(), "use of deprecated function %s", key)
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,12 @@
+package nodeprecated_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/nodeprecated"
+)
+
+func TestNodeprecated(t *testing.T) {
+	analysistest.Run(t, "testdata", nodeprecated.Analyzer, "a")
+}

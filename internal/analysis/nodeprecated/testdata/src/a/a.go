@@ -1,0 +1,30 @@
+// Package a exercises the nodeprecated analyzer.
+package a
+
+// OldWay is kept for compatibility.
+//
+// Deprecated: use NewWay.
+func OldWay() int { return 1 }
+
+// NewWay is the replacement.
+func NewWay() int { return 2 }
+
+type thing struct{}
+
+// OldMethod is kept for compatibility.
+//
+// Deprecated: use NewWay.
+func (t *thing) OldMethod() int { return 3 }
+
+// OlderWay chains to OldWay.
+//
+// Deprecated: use NewWay. (Deprecated code may call deprecated code.)
+func OlderWay() int { return OldWay() }
+
+func caller(t *thing) int {
+	a := OldWay()      // want `use of deprecated function a.OldWay`
+	b := t.OldMethod() // want `use of deprecated function a.thing.OldMethod`
+	c := NewWay()
+	d := OlderWay() // want `use of deprecated function a.OlderWay`
+	return a + b + c + d
+}

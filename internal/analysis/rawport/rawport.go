@@ -1,0 +1,116 @@
+// Package rawport defines an analyzer forbidding raw bus.Space port I/O
+// outside the layers that own it.
+//
+// The repository's central invariant is that device access goes through
+// the Devil-generated stubs: raw In/Out calls with magic offsets are
+// exactly the interface the paper replaces. Raw access is legitimate in
+// four places only — the bus itself, the device simulators (they ARE the
+// hardware), the generated stub packages, and the spec interpreter. The
+// hand-crafted comparison drivers are the measured baseline and opt in
+// per file with a `//devil:rawport` pragma comment.
+package rawport
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the rawport analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "rawport",
+	Doc: "flag raw bus.Space port I/O outside the bus, simulators, generated stubs, " +
+		"and //devil:rawport-pragma'd files",
+	Run: run,
+}
+
+// portMethods are the bus.Space accessors that perform device I/O.
+var portMethods = map[string]bool{
+	"In8": true, "In16": true, "In32": true,
+	"Out8": true, "Out16": true, "Out32": true,
+	"InBlock16": true, "InBlock32": true,
+	"OutBlock16": true, "OutBlock32": true,
+}
+
+// allowedPkgs are the layers that legitimately touch ports raw.
+var allowedPkgs = []string{
+	"repro/internal/bus",
+	"repro/internal/sim",
+	"repro/internal/gen",
+	"repro/internal/devil/exec",
+}
+
+// Pragma is the file-level opt-out comment.
+const Pragma = "//devil:rawport"
+
+func allowed(path string) bool {
+	for _, p := range allowedPkgs {
+		if path == p || strings.HasPrefix(path, p+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// hasPragma reports whether the file carries the opt-out pragma.
+func hasPragma(f *ast.File) bool {
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			if strings.TrimSpace(c.Text) == Pragma {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func run(pass *analysis.Pass) error {
+	if allowed(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if strings.HasSuffix(pass.Fset.Position(f.Pos()).Filename, "_test.go") {
+			continue // tests may poke devices to set up scenarios
+		}
+		if hasPragma(f) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || !portMethods[sel.Sel.Name] {
+				return true
+			}
+			selection, ok := pass.TypesInfo.Selections[sel]
+			if !ok || selection.Kind() != types.MethodVal {
+				return true
+			}
+			if !isSpace(selection.Recv()) {
+				return true
+			}
+			pass.Reportf(call.Pos(),
+				"raw bus.Space.%s outside the bus/sim/gen/exec layers: go through the generated stubs, or mark the file %s",
+				sel.Sel.Name, Pragma)
+			return true
+		})
+	}
+	return nil
+}
+
+// isSpace reports whether t is bus.Space or *bus.Space.
+func isSpace(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Name() == "Space" && obj.Pkg() != nil && obj.Pkg().Path() == "repro/internal/bus"
+}

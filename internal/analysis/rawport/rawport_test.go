@@ -1,0 +1,12 @@
+package rawport_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/rawport"
+)
+
+func TestRawPort(t *testing.T) {
+	analysistest.Run(t, "testdata", rawport.Analyzer, "a", "b")
+}

@@ -1,0 +1,31 @@
+// Package a exercises the rawport analyzer: raw port I/O on bus.Space
+// outside the allowed layers.
+package a
+
+import "repro/internal/bus"
+
+func reads(s *bus.Space) uint32 {
+	a := uint32(s.In8(0))  // want `raw bus.Space.In8`
+	b := uint32(s.In16(2)) // want `raw bus.Space.In16`
+	c := s.In32(4)         // want `raw bus.Space.In32`
+	return a + b + c
+}
+
+func writes(s *bus.Space, w []uint16, l []uint32) {
+	s.Out8(0, 1)       // want `raw bus.Space.Out8`
+	s.Out16(2, 2)      // want `raw bus.Space.Out16`
+	s.Out32(4, 3)      // want `raw bus.Space.Out32`
+	s.OutBlock16(6, w) // want `raw bus.Space.OutBlock16`
+	s.InBlock32(8, l)  // want `raw bus.Space.InBlock32`
+}
+
+// lookalike has the same method names on an unrelated type: no findings.
+type lookalike struct{}
+
+func (lookalike) In8(off uint32) uint8     { return 0 }
+func (lookalike) Out8(off uint32, v uint8) {}
+
+func decoy(l lookalike) uint8 {
+	l.Out8(0, 1)
+	return l.In8(0)
+}

@@ -1,0 +1,11 @@
+// Package b is pragma'd: raw access is an acknowledged baseline.
+//
+//devil:rawport
+package b
+
+import "repro/internal/bus"
+
+func ok(s *bus.Space) uint8 {
+	s.Out8(0, 1)
+	return s.In8(0)
+}

@@ -1,0 +1,86 @@
+// Package snapdecode defines an analyzer keeping snapshot decoding on
+// the snap package's total readers.
+//
+// UnmarshalState implementations must never index or re-slice the raw
+// payload or decode it with encoding/binary directly: snap.Reader and
+// snap.UnmarshalParts are total (truncated or corrupt input latches an
+// error instead of panicking), and every hand-rolled offset computation
+// is a skew bug waiting for the next added field. The snap package
+// itself implements those readers and is exempt.
+package snapdecode
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the snapdecode analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "snapdecode",
+	Doc:  "flag UnmarshalState bodies that index raw payload bytes or decode with encoding/binary",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	if pass.Pkg.Path() == "repro/internal/snap" {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if strings.HasSuffix(pass.Fset.Position(f.Pos()).Filename, "_test.go") {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Name.Name != "UnmarshalState" || fn.Body == nil {
+				continue
+			}
+			checkBody(pass, fn)
+		}
+	}
+	return nil
+}
+
+func checkBody(pass *analysis.Pass, fn *ast.FuncDecl) {
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch e := n.(type) {
+		case *ast.SelectorExpr:
+			if obj := pass.TypesInfo.Uses[e.Sel]; obj != nil && obj.Pkg() != nil &&
+				obj.Pkg().Path() == "encoding/binary" {
+				pass.Reportf(e.Pos(),
+					"UnmarshalState decodes with encoding/binary.%s: use snap.Reader accessors (they are total on corrupt input)",
+					e.Sel.Name)
+				return false
+			}
+		case *ast.IndexExpr:
+			if isByteSlice(pass, e.X) {
+				pass.Reportf(e.Pos(),
+					"UnmarshalState indexes raw payload bytes: use snap.Reader or snap.UnmarshalParts")
+				return false
+			}
+		case *ast.SliceExpr:
+			if isByteSlice(pass, e.X) {
+				pass.Reportf(e.Pos(),
+					"UnmarshalState re-slices raw payload bytes: use snap.Reader or snap.UnmarshalParts")
+				return false
+			}
+		}
+		return true
+	})
+}
+
+// isByteSlice reports whether e has type []byte.
+func isByteSlice(pass *analysis.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok {
+		return false
+	}
+	s, ok := tv.Type.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Byte
+}

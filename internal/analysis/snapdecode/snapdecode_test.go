@@ -1,0 +1,12 @@
+package snapdecode_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/snapdecode"
+)
+
+func TestSnapdecode(t *testing.T) {
+	analysistest.Run(t, "testdata", snapdecode.Analyzer, "a")
+}

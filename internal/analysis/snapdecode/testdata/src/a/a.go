@@ -1,0 +1,44 @@
+// Package a exercises the snapdecode analyzer: UnmarshalState bodies
+// that bypass the snap readers.
+package a
+
+import (
+	"encoding/binary"
+
+	"repro/internal/snap"
+)
+
+type good struct{ v uint32 }
+
+func (g *good) MarshalState(dst []byte) ([]byte, error) {
+	dst, patch := snap.AppendHeader(dst, "good")
+	dst = snap.AppendU32(dst, g.v)
+	return snap.FinishHeader(dst, patch), nil
+}
+
+func (g *good) UnmarshalState(data []byte) error {
+	r, err := snap.NewReader(data, "good")
+	if err != nil {
+		return err
+	}
+	g.v = r.U32()
+	return r.Close()
+}
+
+type bad struct {
+	v uint32
+	b byte
+}
+
+func (b *bad) UnmarshalState(data []byte) error {
+	b.v = binary.LittleEndian.Uint32(data) // want `decodes with encoding/binary`
+	b.b = data[4]                          // want `indexes raw payload bytes`
+	_ = data[5:]                           // want `re-slices raw payload bytes`
+	return nil
+}
+
+// decode is not an UnmarshalState body: raw decoding elsewhere is the
+// wire-format implementation's business, not this analyzer's.
+func decode(data []byte) uint32 {
+	return binary.LittleEndian.Uint32(data)
+}

@@ -1,0 +1,102 @@
+// Package spanpair defines an analyzer for orphaned span pushes.
+//
+// obs.Spans.Span (and the drivers' lowercase span helpers wrapping it)
+// pushes an attribution frame and returns the pop closure. Discarding
+// that closure — or deferring the push itself instead of the pop —
+// leaves the frame on the stack forever, corrupting the attribution of
+// everything that follows. The idiom is:
+//
+//	defer spans.Span("phase")()   // good: defers the pop
+//	pop := spans.Span("phase")    // good: popped explicitly later
+//	spans.Span("phase")           // BAD: pop closure dropped
+//	_ = spans.Span("phase")       // BAD: pop closure dropped
+//	defer spans.Span("phase")     // BAD: defers the push, pop never runs
+package spanpair
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the spanpair analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "spanpair",
+	Doc:  "flag span pushes whose pop closure is discarded or mis-deferred",
+	Run:  run,
+}
+
+// isSpanCall reports whether call pushes a span: a call to a function or
+// method named Span/span returning exactly one func() value.
+func isSpanCall(pass *analysis.Pass, call *ast.CallExpr) bool {
+	var name string
+	switch fun := call.Fun.(type) {
+	case *ast.SelectorExpr:
+		name = fun.Sel.Name
+	case *ast.Ident:
+		name = fun.Name
+	default:
+		return false
+	}
+	if name != "Span" && name != "span" {
+		return false
+	}
+	tv, ok := pass.TypesInfo.Types[call.Fun]
+	if !ok {
+		return false
+	}
+	sig, ok := tv.Type.(*types.Signature)
+	if !ok || sig.Results().Len() != 1 {
+		return false
+	}
+	ret, ok := sig.Results().At(0).Type().(*types.Signature)
+	return ok && ret.Params().Len() == 0 && ret.Results().Len() == 0
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch st := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := st.X.(*ast.CallExpr); ok && isSpanCall(pass, call) {
+					pass.Reportf(call.Pos(),
+						"span pushed but its pop closure is discarded: use `defer %s()` or call the result",
+						exprString(call.Fun))
+				}
+			case *ast.DeferStmt:
+				// `defer x.Span("p")` defers the PUSH; the returned pop
+				// is dropped. The correct form calls the result:
+				// `defer x.Span("p")()`.
+				if isSpanCall(pass, st.Call) {
+					pass.Reportf(st.Call.Pos(),
+						"defer runs the span push, not the pop: append () to defer the returned closure")
+				}
+			case *ast.AssignStmt:
+				for i, rhs := range st.Rhs {
+					call, ok := rhs.(*ast.CallExpr)
+					if !ok || !isSpanCall(pass, call) || i >= len(st.Lhs) {
+						continue
+					}
+					if id, ok := st.Lhs[i].(*ast.Ident); ok && id.Name == "_" {
+						pass.Reportf(call.Pos(),
+							"span pushed but its pop closure is assigned to _: the frame is never popped")
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// exprString renders a selector/ident chain for a message.
+func exprString(e ast.Expr) string {
+	switch v := e.(type) {
+	case *ast.Ident:
+		return v.Name
+	case *ast.SelectorExpr:
+		return exprString(v.X) + "." + v.Sel.Name
+	}
+	return "span"
+}

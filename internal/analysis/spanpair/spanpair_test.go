@@ -1,0 +1,12 @@
+package spanpair_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/spanpair"
+)
+
+func TestSpanpair(t *testing.T) {
+	analysistest.Run(t, "testdata", spanpair.Analyzer, "a")
+}

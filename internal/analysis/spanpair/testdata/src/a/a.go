@@ -1,0 +1,33 @@
+// Package a exercises the spanpair analyzer: orphaned span pushes.
+package a
+
+import "repro/internal/obs"
+
+type ports struct{ spans *obs.Spans }
+
+// span mirrors the drivers' lowercase helper shape.
+func (p *ports) span(name string) func() { return p.spans.Span(name) }
+
+func good(s *obs.Spans, p *ports) {
+	defer s.Span("phase")() // ok: defers the pop
+	pop := s.Span("inner")
+	pop()
+	defer p.span("drv")() // ok: helper, same shape
+}
+
+func bad(s *obs.Spans, p *ports) {
+	s.Span("a")       // want `pop closure is discarded`
+	_ = s.Span("b")   // want `assigned to _`
+	defer s.Span("c") // want `defer runs the span push`
+	p.span("d")       // want `pop closure is discarded`
+	defer p.span("e") // want `defer runs the span push`
+}
+
+// lookalike returns func() but is not a span push.
+func helper() func() { return func() {} }
+
+func decoy() {
+	helper()
+	_ = helper()
+	defer helper()
+}

@@ -26,8 +26,10 @@ import (
 
 	"repro/internal/bus"
 	"repro/internal/devil/ast"
+	"repro/internal/devil/diag"
 	"repro/internal/devil/exec"
 	"repro/internal/devil/parser"
+	"repro/internal/devil/scanner"
 	"repro/internal/devil/sema"
 )
 
@@ -46,15 +48,36 @@ func Parse(src []byte) (*ast.Device, error) {
 // Compile parses and fully checks a specification, returning the resolved
 // device model.
 func Compile(src []byte) (*sema.Device, error) {
-	astDev, errs := parser.Parse(src)
-	if err := errs.Err(); err != nil {
-		return nil, fmt.Errorf("devil: %w", err)
-	}
-	spec, errs := sema.Resolve(astDev)
-	if err := errs.Err(); err != nil {
+	spec, diags := CompileDiags(src)
+	if err := diags.Err(); err != nil {
 		return nil, fmt.Errorf("devil: %w", err)
 	}
 	return spec, nil
+}
+
+// CompileDiags is Compile exposing the structured diagnostics: syntax
+// errors surface as E001, resolution and consistency errors carry their
+// sema codes. The device is nil when (and only when) the list has
+// errors.
+func CompileDiags(src []byte) (*sema.Device, diag.List) {
+	astDev, perrs := parser.Parse(src)
+	if len(perrs) > 0 {
+		return nil, syntaxDiags(perrs)
+	}
+	spec, diags := sema.Resolve(astDev)
+	if diags.HasErrors() {
+		return nil, diags
+	}
+	return spec, diags
+}
+
+// syntaxDiags converts scanner/parser errors into E001 diagnostics.
+func syntaxDiags(errs scanner.ErrorList) diag.List {
+	var diags diag.List
+	for _, e := range errs {
+		diags.Add("E001", e.Pos, "%s", e.Msg)
+	}
+	return diags
 }
 
 // Check compiles the source and returns only the diagnostics, for linting.

@@ -1,0 +1,155 @@
+package diag
+
+import "sort"
+
+// Info describes one registered diagnostic code. Summary is a short
+// generic label (no specific names); Example shows a construct that
+// triggers the code. Both feed `devilc vet -codes` and the README
+// catalog test.
+type Info struct {
+	Code     Code
+	Severity Severity
+	Summary  string
+	Example  string
+	// DefaultOff codes are emitted by the analyses but filtered from
+	// vet's default output (enable with -Wall). Used for advisory codes
+	// that fire on constructs the checked-in specs use deliberately.
+	DefaultOff bool
+}
+
+// The catalog. Grouping convention:
+//
+//	E001      syntax errors (scanner/parser)
+//	E1xx      resolution errors (name binding, types, sizes, domains)
+//	E2xx      §3.1 consistency checks over the resolved device
+//	W3xx      warning-grade spec analyses (package lint)
+var registry = []Info{
+	// --- Syntax -------------------------------------------------------
+	{Code: "E001", Severity: SevError,
+		Summary: "syntax error",
+		Example: `register r = {} // '=' wants a base register, '{' wants no '='`},
+
+	// --- Resolution ---------------------------------------------------
+	{Code: "E101", Severity: SevError,
+		Summary: "duplicate declaration",
+		Example: `variable x ...; register x ... // one namespace per device`},
+	{Code: "E102", Severity: SevError,
+		Summary: "unknown name",
+		Example: `register r = bit[8] port nosuch@0 ...`},
+	{Code: "E103", Severity: SevError,
+		Summary: "value outside its range or domain",
+		Example: `register r25 = r(25) // domain of r is {0..24}`},
+	{Code: "E104", Severity: SevError,
+		Summary: "width or size mismatch",
+		Example: `register r = bit[16] port p8@0, mask '........' ...`},
+	{Code: "E105", Severity: SevError,
+		Summary: "invalid parameterization or instantiation",
+		Example: `variable v = r(j)[0] ... // r is not a register family`},
+	{Code: "E106", Severity: SevError,
+		Summary: "access-direction conflict",
+		Example: `variable v = wr_only[0..7] : { ... <= '1' } // read mapping, write-only register`},
+	{Code: "E107", Severity: SevError,
+		Summary: "malformed value or type",
+		Example: `variable v = r[0] : bool; ... pre { v = 3 }`},
+	{Code: "E108", Severity: SevError,
+		Summary: "enumerable set too large",
+		Example: `device d(p : port @ {0..2000000000}) ...`},
+	{Code: "E109", Severity: SevError,
+		Summary: "invalid serialization or guard",
+		Example: `serialized as a, b // declaration also uses register c`},
+
+	// --- §3.1 consistency checks -------------------------------------
+	{Code: "E201", Severity: SevError,
+		Summary: "variable uses a mask-irrelevant register bit",
+		Example: `mask '***.....' with variable v = r[5]`},
+	{Code: "E202", Severity: SevError,
+		Summary: "variable uses a write-forced register bit",
+		Example: `mask '01......' with variable v = r[7]`},
+	{Code: "E203", Severity: SevError,
+		Summary: "register bit owned by two variables",
+		Example: `variable a = r[3]; variable b = r[3..2]`},
+	{Code: "E204", Severity: SevError,
+		Summary: "relevant register bit belongs to no variable",
+		Example: `mask '........' but variables only cover r[6..0]`},
+	{Code: "E205", Severity: SevError,
+		Summary: "port declared but never used",
+		Example: `device d(base : port @ 0..7, spare : port @ 0) // spare unused`},
+	{Code: "E206", Severity: SevError,
+		Summary: "port offset declared but never used",
+		Example: `port @ {0..3} with registers only at offsets 0..2`},
+	{Code: "E207", Severity: SevError,
+		Summary: "registers overlap a port slot without disambiguation",
+		Example: `two registers write base@1 with identical pre-actions and masks`},
+	{Code: "E208", Severity: SevError,
+		Summary: "register declared but never used",
+		Example: `register r = bit[8] ... // no variable covers it`},
+	{Code: "E209", Severity: SevError,
+		Summary: "private variable declared but never used",
+		Example: `private variable scratch = r[0..7] : int(8); // never referenced`},
+	{Code: "E210", Severity: SevError,
+		Summary: "read mapping of a readable enum is not exhaustive",
+		Example: `2-bit readable enum with symbols for '00' and '01' only`},
+	{Code: "E211", Severity: SevError,
+		Summary: "write trigger shares a register but has no neutral value",
+		Example: `variable t = r[0], trigger : bool; variable u = r[1] : bool`},
+	{Code: "E212", Severity: SevError,
+		Summary: "block variable is not exactly one whole register",
+		Example: `variable data = r[7..4], block : int(4)`},
+	{Code: "E213", Severity: SevError,
+		Summary: "pre-action dependencies are cyclic",
+		Example: `register a ... pre { vb = 1 }; register b ... pre { va = 1 } // va over a, vb over b`},
+	{Code: "E214", Severity: SevError,
+		Summary: "guard tests a register not written by an earlier step",
+		Example: `serialized as a if sel == 1, b // sel lives in b, written after a`},
+
+	// --- Warning-grade analyses (package lint) ------------------------
+	{Code: "W301", Severity: SevWarning,
+		Summary: "variable is dead: no driver-visible read, write, or spec reference",
+		Example: `variable v over a register with neither read nor write port`},
+	{Code: "W302", Severity: SevWarning,
+		Summary: "register read port is dead: no path ever reads the register",
+		Example: `register with read+write ports whose only tenant is a write-only enum`},
+	{Code: "W303", Severity: SevWarning,
+		Summary: "variable can never change: constant snapshot slot",
+		Example: `readable, non-volatile variable on a write-less register, never set by actions`},
+	{Code: "W304", Severity: SevWarning,
+		Summary: "register write port is dead: no path ever writes the register",
+		Example: `register with read+write ports whose only tenant is a read-only enum`},
+	{Code: "W305", Severity: SevWarning,
+		Summary: "volatile candidate: status-flag shape without volatile",
+		Example: `readable+writable bool, sole tenant of a masked register, not volatile`},
+	{Code: "W306", Severity: SevWarning, DefaultOff: true,
+		Summary: "elision-eligibility downgrade taken by the optimizer",
+		Example: `plain scalar register write guarded off because a co-tenant is volatile`},
+	{Code: "W307", Severity: SevWarning,
+		Summary: "enum symbol unreachable on reads",
+		Example: `symbol '1.' declared after '..' — the earlier pattern shadows every raw value`},
+}
+
+var byCode = func() map[Code]Info {
+	m := make(map[Code]Info, len(registry))
+	for _, info := range registry {
+		if _, dup := m[info.Code]; dup {
+			panic("diag: duplicate code " + string(info.Code))
+		}
+		m[info.Code] = info
+	}
+	return m
+}()
+
+// Lookup returns the registration of a code.
+func Lookup(c Code) (Info, bool) {
+	info, ok := byCode[c]
+	return info, ok
+}
+
+// Known reports whether the code is registered.
+func Known(c Code) bool { _, ok := byCode[c]; return ok }
+
+// Codes returns every registered code's Info, sorted by code.
+func Codes() []Info {
+	out := make([]Info, len(registry))
+	copy(out, registry)
+	sort.Slice(out, func(i, j int) bool { return out[i].Code < out[j].Code })
+	return out
+}

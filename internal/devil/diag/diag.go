@@ -1,0 +1,200 @@
+// Package diag defines the structured diagnostics shared by the Devil
+// compiler front end (package sema, hard errors) and the warning-grade
+// spec analyses (package lint).
+//
+// Every diagnostic carries a stable code (E… for errors that reject the
+// specification, W… for legal-but-suspicious constructs), a source
+// position, a message, and an optional fix hint. Codes are stable across
+// releases: tools (the mutation study, golden tests, CI gates, editor
+// integrations) key on the code, never on the message text.
+//
+// The full catalog lives in codes.go and is what `devilc vet` documents
+// and the README's "Static analysis" section is tested against.
+package diag
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/devil/token"
+)
+
+// Severity classifies a diagnostic.
+type Severity int
+
+// Severities, ordered so that higher is more severe.
+const (
+	// SevWarning marks a legal but suspicious construct; the
+	// specification still compiles.
+	SevWarning Severity = iota
+	// SevError rejects the specification.
+	SevError
+)
+
+// String returns "warning" or "error".
+func (s Severity) String() string {
+	if s == SevError {
+		return "error"
+	}
+	return "warning"
+}
+
+// MarshalJSON renders the severity as its string form.
+func (s Severity) MarshalJSON() ([]byte, error) { return json.Marshal(s.String()) }
+
+// UnmarshalJSON parses the string form back, so consumers of
+// `devilc vet -json` can round-trip diagnostics.
+func (s *Severity) UnmarshalJSON(b []byte) error {
+	var str string
+	if err := json.Unmarshal(b, &str); err != nil {
+		return err
+	}
+	switch str {
+	case "warning":
+		*s = SevWarning
+	case "error":
+		*s = SevError
+	default:
+		return fmt.Errorf("diag: unknown severity %q", str)
+	}
+	return nil
+}
+
+// Code is a stable diagnostic code such as "E207" or "W305".
+type Code string
+
+// Diagnostic is one finding: a coded, positioned message with an
+// optional fix hint. File is the source path when known (the vet driver
+// sets it; in-memory compiles leave it empty).
+type Diagnostic struct {
+	Code     Code      `json:"code"`
+	Severity Severity  `json:"severity"`
+	File     string    `json:"file,omitempty"`
+	Pos      token.Pos `json:"-"`
+	Line     int       `json:"line"`
+	Column   int       `json:"column"`
+	Msg      string    `json:"message"`
+	Hint     string    `json:"hint,omitempty"`
+}
+
+// String renders "file:line:col: CODE: message" (file omitted when
+// unset), the format golden tests pin.
+func (d Diagnostic) String() string {
+	var b strings.Builder
+	if d.File != "" {
+		b.WriteString(d.File)
+		b.WriteByte(':')
+	}
+	fmt.Fprintf(&b, "%d:%d: %s: %s", d.Pos.Line, d.Pos.Column, d.Code, d.Msg)
+	return b.String()
+}
+
+// Error implements the error interface.
+func (d Diagnostic) Error() string { return d.String() }
+
+// List is a collection of diagnostics in emission order.
+type List []Diagnostic
+
+// Add appends a coded diagnostic at pos. The severity comes from the
+// code's registration; unknown codes panic (every code must be in the
+// catalog before use).
+func (l *List) Add(code Code, pos token.Pos, format string, args ...any) {
+	l.add(code, pos, "", format, args...)
+}
+
+// AddHint is Add with a fix hint attached.
+func (l *List) AddHint(code Code, pos token.Pos, hint, format string, args ...any) {
+	l.add(code, pos, hint, format, args...)
+}
+
+func (l *List) add(code Code, pos token.Pos, hint, format string, args ...any) {
+	info, ok := Lookup(code)
+	if !ok {
+		panic(fmt.Sprintf("diag: unregistered code %s", code))
+	}
+	*l = append(*l, Diagnostic{
+		Code: code, Severity: info.Severity,
+		Pos: pos, Line: pos.Line, Column: pos.Column,
+		Msg: fmt.Sprintf(format, args...), Hint: hint,
+	})
+}
+
+// Err returns the list as an error, or nil when empty. (Presence of any
+// diagnostic — warnings included — makes Err non-nil; callers that only
+// care about hard errors should test HasErrors.)
+func (l List) Err() error {
+	if len(l) == 0 {
+		return nil
+	}
+	return l
+}
+
+// Error implements the error interface by joining the rendered
+// diagnostics with newlines.
+func (l List) Error() string {
+	switch len(l) {
+	case 0:
+		return "no diagnostics"
+	case 1:
+		return l[0].String()
+	}
+	var b strings.Builder
+	for i, d := range l {
+		if i > 0 {
+			b.WriteByte('\n')
+		}
+		b.WriteString(d.String())
+	}
+	return b.String()
+}
+
+// HasErrors reports whether the list contains an error-severity entry.
+func (l List) HasErrors() bool {
+	for _, d := range l {
+		if d.Severity == SevError {
+			return true
+		}
+	}
+	return false
+}
+
+// Codes returns the distinct codes present, sorted.
+func (l List) Codes() []Code {
+	seen := map[Code]bool{}
+	for _, d := range l {
+		seen[d.Code] = true
+	}
+	cs := make([]Code, 0, len(seen))
+	for c := range seen {
+		cs = append(cs, c)
+	}
+	sort.Slice(cs, func(i, j int) bool { return cs[i] < cs[j] })
+	return cs
+}
+
+// Sort orders the list by file, then source position, then code, the
+// order vet prints and golden files pin.
+func (l List) Sort() {
+	sort.SliceStable(l, func(i, j int) bool {
+		a, b := l[i], l[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Pos.Offset != b.Pos.Offset {
+			return a.Pos.Offset < b.Pos.Offset
+		}
+		return a.Code < b.Code
+	})
+}
+
+// WithFile returns a copy of the list with File set on every entry.
+func (l List) WithFile(file string) List {
+	out := make(List, len(l))
+	for i, d := range l {
+		d.File = file
+		out[i] = d
+	}
+	return out
+}

@@ -1,0 +1,159 @@
+package diag
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/devil/token"
+)
+
+// TestRegistryInvariants pins the catalog's structural rules: stable
+// prefix↔severity mapping, non-empty summaries and examples, and a
+// sorted, duplicate-free Codes listing.
+func TestRegistryInvariants(t *testing.T) {
+	infos := Codes()
+	if len(infos) == 0 {
+		t.Fatal("empty catalog")
+	}
+	seen := map[Code]bool{}
+	for _, info := range infos {
+		if seen[info.Code] {
+			t.Errorf("duplicate code %s", info.Code)
+		}
+		seen[info.Code] = true
+		switch {
+		case strings.HasPrefix(string(info.Code), "E"):
+			if info.Severity != SevError {
+				t.Errorf("%s: E-codes must be errors", info.Code)
+			}
+			if info.DefaultOff {
+				t.Errorf("%s: errors cannot be default-off", info.Code)
+			}
+		case strings.HasPrefix(string(info.Code), "W"):
+			if info.Severity != SevWarning {
+				t.Errorf("%s: W-codes must be warnings", info.Code)
+			}
+		default:
+			t.Errorf("%s: unknown code prefix", info.Code)
+		}
+		if info.Summary == "" {
+			t.Errorf("%s: empty summary", info.Code)
+		}
+		if info.Example == "" {
+			t.Errorf("%s: empty example", info.Code)
+		}
+	}
+	if !sort.SliceIsSorted(infos, func(i, j int) bool { return infos[i].Code < infos[j].Code }) {
+		t.Error("Codes() not sorted")
+	}
+}
+
+func TestLookup(t *testing.T) {
+	if info, ok := Lookup("E201"); !ok || info.Severity != SevError {
+		t.Errorf("Lookup(E201) = %+v, %v", info, ok)
+	}
+	if !Known("W305") || Known("X999") {
+		t.Error("Known misclassifies codes")
+	}
+}
+
+// TestAddPanicsOnUnknownCode: the registry is the single source of truth;
+// emitting an unregistered code is a programming error, caught loudly.
+func TestAddPanicsOnUnknownCode(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Add with unregistered code did not panic")
+		}
+	}()
+	var l List
+	l.Add("Z000", token.Pos{}, "nope")
+}
+
+func TestListBasics(t *testing.T) {
+	var l List
+	if l.Err() != nil || l.HasErrors() {
+		t.Error("empty list should be nil error")
+	}
+	l.Add("W301", token.Pos{Offset: 10, Line: 2, Column: 5}, "dead %s", "v")
+	l.AddHint("E102", token.Pos{Offset: 3, Line: 1, Column: 4}, "declare it", "unknown port %s", "zz")
+	if !l.HasErrors() {
+		t.Error("E102 should make HasErrors true")
+	}
+	l.Sort()
+	if l[0].Code != "E102" || l[1].Code != "W301" {
+		t.Errorf("Sort by offset failed: %v, %v", l[0].Code, l[1].Code)
+	}
+	if got := l[0].String(); got != "1:4: E102: unknown port zz" {
+		t.Errorf("String() = %q", got)
+	}
+	withFile := l.WithFile("x.dil")
+	if withFile[0].String() != "x.dil:1:4: E102: unknown port zz" {
+		t.Errorf("WithFile String() = %q", withFile[0].String())
+	}
+	if l[0].File != "" {
+		t.Error("WithFile must not mutate the receiver")
+	}
+	if codes := l.Codes(); len(codes) != 2 || codes[0] != "E102" || codes[1] != "W301" {
+		t.Errorf("Codes() = %v", codes)
+	}
+	if !strings.Contains(l.Error(), "E102") || !strings.Contains(l.Error(), "W301") {
+		t.Errorf("Error() = %q", l.Error())
+	}
+}
+
+// TestSortGroupsByFile: vet interleaves findings from many files; output
+// must group per file, then by position.
+func TestSortGroupsByFile(t *testing.T) {
+	var l List
+	l.Add("W301", token.Pos{Offset: 1, Line: 1, Column: 2}, "x")
+	l[0].File = "b.dil"
+	l.Add("W301", token.Pos{Offset: 9, Line: 3, Column: 1}, "y")
+	l[1].File = "a.dil"
+	l.Sort()
+	if l[0].File != "a.dil" {
+		t.Errorf("sort order: %v", l)
+	}
+}
+
+// TestJSONRoundTrip: the -json form must round-trip, severity included.
+func TestJSONRoundTrip(t *testing.T) {
+	var l List
+	l.AddHint("W305", token.Pos{Offset: 7, Line: 3, Column: 9}, "make it volatile", "flag %s", "pi")
+	l[0].File = "spec.dil"
+	data, err := json.Marshal(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back List
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	d := back[0]
+	if d.Code != "W305" || d.Severity != SevWarning || d.File != "spec.dil" ||
+		d.Line != 3 || d.Column != 9 || d.Hint != "make it volatile" || d.Msg != "flag pi" {
+		t.Errorf("round trip lost fields: %+v", d)
+	}
+	if err := json.Unmarshal([]byte(`{"severity":"fatal"}`), &d); err == nil {
+		t.Error("unknown severity string should fail to unmarshal")
+	}
+}
+
+// TestREADMEDocumentsAllCodes enforces the documentation contract: every
+// registered diagnostic code appears in the README's static-analysis
+// section. Adding a code without documenting it fails this test.
+func TestREADMEDocumentsAllCodes(t *testing.T) {
+	readme, err := os.ReadFile(filepath.FromSlash("../../../README.md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(readme)
+	for _, info := range Codes() {
+		if !strings.Contains(text, string(info.Code)) {
+			t.Errorf("README.md does not document %s (%s)", info.Code, info.Summary)
+		}
+	}
+}

@@ -96,18 +96,116 @@ func Analyze(spec *sema.Device) *Info {
 // eligible checks one variable against the class-independent eligibility
 // rules and returns the partial elision facts, or nil.
 func eligible(spec *sema.Device, v *sema.Variable) *Elision {
-	// The variable must be a plain, immediately-written scalar: no cell
-	// or structure staging, no trigger semantics (the write IS the side
-	// effect), no volatility (the device may change the bits), no block
-	// transfers, no variable-level actions, no register-family parameter
-	// (per-instance shadows would be needed), and a single unguarded
-	// write step.
+	el, _, _ := classify(spec, v)
+	return el
+}
+
+// DowngradeReason names the environmental rule that disqualified a
+// shape-eligible variable from elision. Shape failures (cells,
+// structures, triggers, volatility on the variable itself, multi-step
+// serializations, …) are not downgrades: the spec author asked for those
+// semantics. Environmental failures are properties of the surrounding
+// spec, and are the ones `devilc vet -Wall` surfaces as W306.
+type DowngradeReason int
+
+// The environmental disqualification reasons.
+const (
+	// DownNone: not an environmental failure.
+	DownNone DowngradeReason = iota
+	// DownVolatileTenant: a co-tenant is volatile — the device may change
+	// the register behind the shadow.
+	DownVolatileTenant
+	// DownTriggerTenant: a co-tenant triggers without a neutral value, so
+	// its bits cannot be composed into a rewrite without firing it.
+	DownTriggerTenant
+	// DownFamilyAlias: a family-parameter chunk aliases every
+	// instantiation of the register's family.
+	DownFamilyAlias
+	// DownPortSharer: another register writes the same port offset
+	// without pre actions, defeating last-written tracking.
+	DownPortSharer
+	// DownCtxChain: the variable itself is eligible but its register's
+	// pre-action chain is not elidable context selection.
+	DownCtxChain
+)
+
+// String returns a short human-readable label for the reason.
+func (r DowngradeReason) String() string {
+	switch r {
+	case DownVolatileTenant:
+		return "volatile co-tenant"
+	case DownTriggerTenant:
+		return "neutral-less trigger co-tenant"
+	case DownFamilyAlias:
+		return "family-parameter alias"
+	case DownPortSharer:
+		return "unwindowed port sharer"
+	case DownCtxChain:
+		return "non-elidable context chain"
+	}
+	return "none"
+}
+
+// Downgrade records one eligibility downgrade: Var's writes to Reg stay
+// unguarded because of Reason; Other names the blocking entity when one
+// exists (the volatile tenant, the sharing register, …).
+type Downgrade struct {
+	Var    *sema.Variable
+	Reg    *sema.Register
+	Reason DowngradeReason
+	Other  string
+}
+
+// Downgrades returns every variable that passes the shape rules for
+// elision but is disqualified by an environmental rule, with the rule
+// that fired. The result is in variable declaration order.
+func Downgrades(spec *sema.Device) []Downgrade {
+	info := Analyze(spec)
+	var out []Downgrade
+	for _, v := range spec.Variables {
+		if info.Elidable[v] != nil {
+			continue
+		}
+		el, reason, other := classify(spec, v)
+		reg := regOf(v)
+		switch {
+		case reason != DownNone:
+			out = append(out, Downgrade{Var: v, Reg: reg, Reason: reason, Other: other})
+		case el != nil:
+			// Shape and environment pass but Analyze still rejected the
+			// variable: its pre-action chain is not elidable context
+			// selection (phase 1/2 structure).
+			out = append(out, Downgrade{Var: v, Reg: el.Reg, Reason: DownCtxChain})
+		}
+	}
+	return out
+}
+
+// regOf returns the single register of a one-step serialization, or nil.
+func regOf(v *sema.Variable) *sema.Register {
+	if len(v.Order) == 1 {
+		return v.Order[0].Reg
+	}
+	return nil
+}
+
+// classify checks one variable against the eligibility rules. It returns
+// the partial elision facts when every rule passes; otherwise the facts
+// are nil and, for environmental failures, the reason and the name of
+// the blocking entity.
+func classify(spec *sema.Device, v *sema.Variable) (*Elision, DowngradeReason, string) {
+	// Shape: the variable must be a plain, immediately-written scalar: no
+	// cell or structure staging, no trigger semantics (the write IS the
+	// side effect), no volatility (the device may change the bits), no
+	// block transfers, no variable-level actions, no register-family
+	// parameter (per-instance shadows would be needed), and a single
+	// unguarded write step.
 	if v.Cell || !v.Writable || v.Struct != nil || v.Trigger != nil ||
 		v.Volatile || v.Block || v.Param != "" || len(v.Set) != 0 {
-		return nil
+		return nil, DownNone, ""
 	}
 	if len(v.Order) != 1 || v.Order[0].Guard != nil {
-		return nil
+		return nil, DownNone, ""
 	}
 	reg := v.Order[0].Reg
 	// The register must be a concrete (non-family) writable register that
@@ -115,13 +213,15 @@ func eligible(spec *sema.Device, v *sema.Variable) *Elision {
 	// acknowledges, whose rewrites must reach the device — with no post
 	// actions and only constant-cell set actions (which become guard
 	// conditions).
+	// A write-only port direction is an explicit spec choice (commands
+	// and acknowledges), so failing it is a shape rule, not a downgrade.
 	if reg.Param != "" || reg.Write == nil || !reg.Readable() || len(reg.Post) != 0 {
-		return nil
+		return nil, DownNone, ""
 	}
 	el := &Elision{Reg: reg}
 	for _, a := range reg.Set {
 		if a.TargetVar == nil || !a.TargetVar.Cell || a.Value.Kind != sema.ValConst {
-			return nil
+			return nil, DownNone, ""
 		}
 		el.Cells = append(el.Cells, CellCond{Cell: a.TargetVar, Val: a.Value.Const})
 	}
@@ -138,8 +238,11 @@ func eligible(spec *sema.Device, v *sema.Variable) *Elision {
 		if t.Trigger != nil && t.Trigger.HasNeutral {
 			continue
 		}
-		if t.Volatile || t.Trigger != nil {
-			return nil
+		if t.Volatile {
+			return nil, DownVolatileTenant, t.Name
+		}
+		if t.Trigger != nil {
+			return nil, DownTriggerTenant, t.Name
 		}
 	}
 	// A family-parameter chunk over the register's family base aliases
@@ -148,7 +251,7 @@ func eligible(spec *sema.Device, v *sema.Variable) *Elision {
 		for _, t := range spec.Variables {
 			for _, ch := range t.Chunks {
 				if ch.Reg == reg.Base && ch.ArgKind == sema.ArgParam {
-					return nil
+					return nil, DownFamilyAlias, t.Name
 				}
 			}
 		}
@@ -163,10 +266,10 @@ func eligible(spec *sema.Device, v *sema.Variable) *Elision {
 			continue
 		}
 		if r2.Write.Port == reg.Write.Port && r2.Write.Offset == reg.Write.Offset && len(r2.Pre) == 0 {
-			return nil
+			return nil, DownPortSharer, r2.Name
 		}
 	}
-	return el
+	return el, DownNone, ""
 }
 
 // tenantOf reports whether t owns bits of reg, following family aliases

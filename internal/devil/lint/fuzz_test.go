@@ -1,0 +1,85 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/devil/diag"
+	"repro/internal/specs"
+)
+
+// FuzzVet runs arbitrary bytes through the full vet story — compile plus
+// every warning analysis — and checks the diagnostic invariants the vet
+// driver and its JSON consumers rely on: no panics, every code
+// registered, positions one-based on every finding of a compiled spec,
+// and warnings only from the lint layer.
+func FuzzVet(f *testing.F) {
+	for _, src := range specs.All() {
+		f.Add(src)
+	}
+	// The parser and scanner corpora hold inputs that previously found
+	// front-end crashes; replay them through the vet pipeline too.
+	for _, dir := range []string{
+		filepath.FromSlash("../parser/testdata/fuzz/FuzzParser"),
+		filepath.FromSlash("../scanner/testdata/fuzz/FuzzScanner"),
+	} {
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			continue
+		}
+		for _, e := range entries {
+			data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+			if err != nil {
+				continue
+			}
+			// Go corpus files are "go test fuzz v1" encoded; seeding the
+			// raw file is still a valid (if oddly-shaped) spec input.
+			f.Add(data)
+		}
+	}
+	// Warning-shaped seeds so the mutator starts near the W-code space.
+	f.Add([]byte(`device d (a : bit[8] port @ {0..1})
+{
+    register ro = read a @ 0 : bit[8];
+    register wo = write a @ 1 : bit[8];
+    variable v = ro # wo : int(16);
+}`))
+	f.Add([]byte(`device d (a : bit[8] port @ {0})
+{
+    register r = a @ 0, mask '*******.' : bit[8];
+    variable pending = r[0] : bool;
+}`))
+	f.Add([]byte(`device d (a : bit[8] port @ {0})
+{
+    register r = a @ 0, mask '******..' : bit[8];
+    variable e = r[1..0] : { ANY <= '..', SPECIAL <= '1.', GO => '01' };
+}`))
+
+	f.Fuzz(func(t *testing.T, src []byte) {
+		diags := CheckSource(src)
+		hardErrors := diags.HasErrors()
+		for _, d := range diags {
+			info, ok := diag.Lookup(d.Code)
+			if !ok {
+				t.Fatalf("unregistered code %s: %v", d.Code, d)
+			}
+			if d.Severity != info.Severity {
+				t.Fatalf("severity of %s diverges from its registration: %v", d.Code, d)
+			}
+			if d.Msg == "" {
+				t.Fatalf("empty message: %v", d)
+			}
+			if !hardErrors {
+				// Findings on a compiled spec always have a real source
+				// position (syntax-error positions may be clamped).
+				if d.Line < 1 || d.Column < 1 {
+					t.Fatalf("non-positive position %d:%d on %s: %v", d.Line, d.Column, d.Code, d)
+				}
+				if d.Severity != diag.SevWarning {
+					t.Fatalf("compiled spec yielded non-warning %s: %v", d.Code, d)
+				}
+			}
+		}
+	})
+}

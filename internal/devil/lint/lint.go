@@ -1,0 +1,364 @@
+// Package lint implements the warning-grade spec analyses behind
+// `devilc vet`: legal-but-suspicious constructs in Devil specifications
+// that the §3.1 consistency checks (package sema) deliberately accept.
+//
+// The checks run over the resolved device model and the port-access IR's
+// eligibility analysis, and emit W3xx diagnostics (package diag). Every
+// check is tuned so the eight checked-in library specifications are
+// clean under the default set; W306 (elision downgrades the optimizer
+// takes) is advisory and default-off because the library uses those
+// constructs deliberately.
+package lint
+
+import (
+	"repro/internal/core"
+	"repro/internal/devil/diag"
+	"repro/internal/devil/ir"
+	"repro/internal/devil/sema"
+)
+
+// CheckSource compiles src and returns its full diagnostic story: hard
+// errors from the compiler when it does not compile, the W3xx findings
+// of Check when it does.
+func CheckSource(src []byte) diag.List {
+	spec, diags := core.CompileDiags(src)
+	if spec == nil || diags.HasErrors() {
+		return diags
+	}
+	return append(diags, Check(spec)...)
+}
+
+// Check runs every warning-grade analysis over a resolved device and
+// returns the findings in source order.
+func Check(spec *sema.Device) diag.List {
+	c := &checker{spec: spec, info: ir.Analyze(spec)}
+	c.usage = collectUsage(spec)
+	c.checkDeadVariables()   // W301
+	c.checkDeadReadPorts()   // W302
+	c.checkConstantSlots()   // W303
+	c.checkDeadWritePorts()  // W304
+	c.checkVolatileFlags()   // W305
+	c.checkDowngrades()      // W306
+	c.checkShadowedSymbols() // W307
+	c.diags.Sort()
+	return c.diags
+}
+
+type checker struct {
+	spec  *sema.Device
+	info  *ir.Info
+	usage *usage
+	diags diag.List
+}
+
+// usage records how the spec's own actions, guards, and triggers use
+// variables, independent of the driver-visible get/set interface.
+type usage struct {
+	// read holds variables whose value some action or guard consumes.
+	read map[*sema.Variable]bool
+	// written holds variables some action assigns.
+	written map[*sema.Variable]bool
+}
+
+func collectUsage(spec *sema.Device) *usage {
+	u := &usage{read: map[*sema.Variable]bool{}, written: map[*sema.Variable]bool{}}
+	noteValue := func(v sema.Value) {
+		if v.Kind == sema.ValVarRef {
+			u.read[v.Var] = true
+		}
+		for _, f := range v.Fields {
+			u.written[f.Var] = true
+			if f.Value.Kind == sema.ValVarRef {
+				u.read[f.Value.Var] = true
+			}
+		}
+	}
+	noteActions := func(acts []*sema.Action) {
+		for _, a := range acts {
+			if a.TargetVar != nil {
+				u.written[a.TargetVar] = true
+			}
+			if a.TargetStruct != nil {
+				for _, f := range a.TargetStruct.Fields {
+					u.written[f] = true
+				}
+			}
+			noteValue(a.Value)
+		}
+	}
+	noteSteps := func(steps []*sema.SerStep) {
+		for _, s := range steps {
+			if s.Guard != nil {
+				u.read[s.Guard.Var] = true
+			}
+		}
+	}
+	for _, reg := range spec.Registers {
+		noteActions(reg.Pre)
+		noteActions(reg.Post)
+		noteActions(reg.Set)
+	}
+	for _, v := range spec.Variables {
+		noteActions(v.Set)
+		noteSteps(v.Order)
+	}
+	for _, s := range spec.Structures {
+		noteSteps(s.Order)
+	}
+	return u
+}
+
+// regGroup maps a register to itself and, for family instantiations, to
+// the family base — port capabilities are shared within the group.
+func regGroup(r *sema.Register) *sema.Register {
+	if r.Base != nil {
+		return r.Base
+	}
+	return r
+}
+
+// ---------------------------------------------------------------------------
+// W301: a variable with no driver-visible access and no spec-internal use
+// is dead weight — it occupies register bits but nothing can ever touch
+// it. (Private dead variables are E209; this is the public analogue plus
+// cells nothing references.)
+
+func (c *checker) checkDeadVariables() {
+	for _, v := range c.spec.Variables {
+		if v.Readable || v.Writable || c.usage.read[v] || c.usage.written[v] {
+			continue
+		}
+		if v.Private && !v.Cell {
+			continue // E209's territory
+		}
+		c.diags.AddHint("W301", v.Pos,
+			"give its register a read or write port, reference it from an action or guard, or delete it",
+			"variable %s has no driver-visible read or write path and is never referenced by an action, guard, or trigger", v.Name)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// W302: a register declares a read port, but nothing can ever read it —
+// no readable tenant decodes from it and no guard or action value
+// consumes a tenant. Reading it back would deliver bits the spec gives
+// no meaning to ("write-only register read back").
+
+func (c *checker) checkDeadReadPorts() {
+	readable := map[*sema.Register]bool{}
+	note := func(v *sema.Variable) {
+		for _, ch := range v.Chunks {
+			readable[regGroup(ch.Reg)] = true
+		}
+	}
+	for _, v := range c.spec.Variables {
+		if v.Cell {
+			continue
+		}
+		if v.Readable || c.usage.read[v] {
+			note(v)
+		}
+	}
+	for _, reg := range c.spec.Registers {
+		if reg.Base != nil || reg.Read == nil {
+			continue
+		}
+		if !readable[reg] {
+			c.diags.AddHint("W302", reg.Pos,
+				"drop the read capability, or give a tenant read semantics (a readable type or a guard use)",
+				"register %s declares a read port but no variable or guard ever reads it back", reg.Name)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// W303: a readable variable the driver cannot write, the device never
+// changes (non-volatile, no trigger), and no action assigns: its value
+// is fixed at initialization, so its snapshot slot in the generated
+// StateLayout can never change and every re-read is the same constant.
+
+func (c *checker) checkConstantSlots() {
+	for _, v := range c.spec.Variables {
+		if v.Cell || !v.Readable || v.Writable || v.Volatile || v.Trigger != nil {
+			continue
+		}
+		if c.usage.written[v] {
+			continue
+		}
+		c.diags.AddHint("W303", v.Pos,
+			"mark it volatile if the device updates it on its own; otherwise its snapshot slot is a constant",
+			"variable %s is readable but not writable, not volatile, and never assigned: its value can never change", v.Name)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// W304: the mirror of W302 — a register declares a write port but no
+// writable tenant and no action ever writes it, so the capability is
+// dead.
+
+func (c *checker) checkDeadWritePorts() {
+	writable := map[*sema.Register]bool{}
+	note := func(v *sema.Variable) {
+		for _, ch := range v.Chunks {
+			writable[regGroup(ch.Reg)] = true
+		}
+	}
+	for _, v := range c.spec.Variables {
+		if v.Cell {
+			continue
+		}
+		if v.Writable || c.usage.written[v] {
+			note(v)
+		}
+	}
+	for _, reg := range c.spec.Registers {
+		if reg.Base != nil || reg.Write == nil {
+			continue
+		}
+		if !writable[reg] {
+			c.diags.AddHint("W304", reg.Pos,
+				"drop the write capability, or give a tenant write semantics",
+				"register %s declares a write port but no variable or action ever writes it", reg.Name)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// W305: the cs4236 `pi` bug class. A boolean that is the sole tenant of
+// a heavily-masked register, readable and writable, not volatile, and
+// elision-eligible has the exact shape of a device-raised status/ack
+// flag: if the device sets or clears it on its own, the optimizer's
+// rewrite elision will silently swallow the acknowledging write. The
+// sole-tenant + masked-register restriction keeps ordinary configuration
+// booleans (which co-tenant with other fields) out.
+
+func (c *checker) checkVolatileFlags() {
+	// soleTenant reports whether v is the only variable owning bits of
+	// reg, resolving family aliases the way the interpreter's register
+	// composition does (a family-parameter chunk aliases every
+	// instantiation; a constant-argument chunk only the matching one).
+	soleTenant := func(v *sema.Variable, reg *sema.Register) bool {
+		for _, t := range c.spec.Variables {
+			if t == v || t.Cell {
+				continue
+			}
+			for _, ch := range t.Chunks {
+				if ch.Reg == reg ||
+					(reg.Base != nil && ch.Reg == reg.Base &&
+						(ch.ArgKind == sema.ArgParam || (ch.ArgKind == sema.ArgConst && ch.ArgVal == reg.Arg))) ||
+					(ch.Reg.Base != nil && ch.Reg.Base == reg) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	for _, v := range c.spec.Variables {
+		if v.Cell || v.Type.Kind != sema.TypeBool || !v.Readable || !v.Writable {
+			continue
+		}
+		if c.info.Elidable[v] == nil {
+			continue // rewrites reach the device anyway
+		}
+		if len(v.Chunks) != 1 {
+			continue
+		}
+		reg := v.Chunks[0].Reg
+		if !soleTenant(v, reg) {
+			continue
+		}
+		masked := false
+		for _, m := range reg.Mask {
+			if m == sema.BitIrrelevant {
+				masked = true
+				break
+			}
+		}
+		if !masked {
+			continue
+		}
+		c.diags.AddHint("W305", v.Pos,
+			"if the device raises or clears this flag on its own, declare it volatile so acknowledging rewrites are never elided",
+			"variable %s looks like a status/ack flag (lone bool in masked register %s) but is not volatile: the optimizer may elide its rewrites", v.Name, reg.Name)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// W306 (default-off, -Wall): eligibility downgrades the optimizer takes
+// silently — variables whose writes stay unguarded only because of an
+// environmental property of the surrounding spec.
+
+func (c *checker) checkDowngrades() {
+	for _, d := range ir.Downgrades(c.spec) {
+		reg := "?"
+		if d.Reg != nil {
+			reg = d.Reg.Name
+		}
+		msg := "writes of %s to register %s are never elided: " + d.Reason.String()
+		if d.Other != "" {
+			msg += " (" + d.Other + ")"
+		}
+		c.diags.AddHint("W306", d.Var.Pos,
+			"intentional for command/ack protocols; restructure the register file if the write path is hot",
+			msg, d.Var.Name, reg)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// W307: a readable enum symbol no raw value can ever decode to, because
+// earlier symbols' patterns shadow all of its values (reads resolve to
+// the first matching symbol). Small types are enumerated exhaustively;
+// wider ones fall back to the pairwise single-shadow test.
+
+func (c *checker) checkShadowedSymbols() {
+	for _, v := range c.spec.Variables {
+		if v.Cell || v.Type.Kind != sema.TypeEnum || !v.Readable {
+			continue
+		}
+		syms := v.Type.Enum
+		for i, s := range syms {
+			if !s.Readable() {
+				continue
+			}
+			if reachable(syms[:i], s, v.Type.Bits) {
+				continue
+			}
+			c.diags.AddHint("W307", v.Pos,
+				"reorder the symbols or tighten the earlier patterns",
+				"symbol %s of variable %s is unreachable on reads: earlier patterns match all of its values", s.Name, v.Name)
+		}
+	}
+}
+
+// reachable reports whether some raw value matching s survives every
+// earlier readable symbol.
+func reachable(earlier []sema.EnumSymbol, s sema.EnumSymbol, bits int) bool {
+	if bits <= 12 {
+		for raw := uint64(0); raw < 1<<uint(bits); raw++ {
+			if !s.Matches(raw) {
+				continue
+			}
+			shadowed := false
+			for _, e := range earlier {
+				if e.Readable() && e.Matches(raw) {
+					shadowed = true
+					break
+				}
+			}
+			if !shadowed {
+				return true
+			}
+		}
+		return false
+	}
+	// Pairwise: s is unreachable if a single earlier symbol covers it
+	// (cares only about bits s fixes, agreeing on their values).
+	for _, e := range earlier {
+		if !e.Readable() {
+			continue
+		}
+		if e.CareMask&^s.CareMask == 0 && s.Value&e.CareMask == e.Value {
+			return false
+		}
+	}
+	return true
+}

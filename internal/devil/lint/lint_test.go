@@ -1,0 +1,251 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/devil/diag"
+	"repro/internal/specs"
+)
+
+// checkSrc runs CheckSource and fails the test on hard errors: every
+// fixture here is a legal specification whose warnings are the subject.
+func checkSrc(t *testing.T, src string) diag.List {
+	t.Helper()
+	diags := CheckSource([]byte(src))
+	if diags.HasErrors() {
+		t.Fatalf("fixture does not compile:\n%v", diags.Err())
+	}
+	return diags
+}
+
+// codesOf renders the distinct codes as strings for easy comparison.
+func codesOf(diags diag.List) []string {
+	var out []string
+	for _, c := range diags.Codes() {
+		out = append(out, string(c))
+	}
+	return out
+}
+
+func wantCodes(t *testing.T, diags diag.List, want ...string) {
+	t.Helper()
+	got := codesOf(diags)
+	if strings.Join(got, ",") != strings.Join(want, ",") {
+		t.Errorf("codes = %v, want %v\n%v", got, want, diags)
+	}
+}
+
+// TestLibraryClean is the tuning contract of this package: every check,
+// including the default-off W306, is silent on the eight library
+// specifications. The library uses write-only command registers, shared
+// offsets, and volatile flags deliberately; a check that fires on them is
+// miscalibrated.
+func TestLibraryClean(t *testing.T) {
+	for name, src := range specs.All() {
+		if diags := CheckSource(src); len(diags) != 0 {
+			t.Errorf("%s: want no diagnostics, got:\n%v", name, diags.Err())
+		}
+	}
+}
+
+// TestDeadVariable covers W301: a variable spanning a read-only and a
+// write-only register can be neither read nor written. The orphaned port
+// capabilities surface as W302/W304 alongside.
+func TestDeadVariable(t *testing.T) {
+	diags := checkSrc(t, `
+device d (a : bit[8] port @ {0..1})
+{
+    register ro = read a @ 0 : bit[8];
+    register wo = write a @ 1 : bit[8];
+    variable v = ro # wo : int(16);
+}`)
+	wantCodes(t, diags, "W301", "W302", "W304")
+}
+
+// TestDeadReadPort covers W302: a read port whose only tenant is a
+// write-only enumeration.
+func TestDeadReadPort(t *testing.T) {
+	diags := checkSrc(t, `
+device d (a : bit[8] port @ {0})
+{
+    register r = a @ 0 : bit[8];
+    variable mode = r : { RUN => '00000001', STOP => '00000000' };
+}`)
+	wantCodes(t, diags, "W302")
+}
+
+// TestConstantSlot covers W303: readable, not writable, not volatile,
+// never assigned — the value is frozen at initialization.
+func TestConstantSlot(t *testing.T) {
+	diags := checkSrc(t, `
+device d (a : bit[8] port @ {0})
+{
+    register id = read a @ 0 : bit[8];
+    variable chip_id = id : int(8);
+}`)
+	wantCodes(t, diags, "W303")
+
+	// Declaring it volatile is the documented fix.
+	diags = checkSrc(t, `
+device d (a : bit[8] port @ {0})
+{
+    register id = read a @ 0 : bit[8];
+    variable chip_id = id, volatile : int(8);
+}`)
+	wantCodes(t, diags)
+}
+
+// TestDeadWritePort covers W304: a write port whose only tenant is a
+// read-only enumeration.
+func TestDeadWritePort(t *testing.T) {
+	diags := checkSrc(t, `
+device d (a : bit[8] port @ {0})
+{
+    register r = a @ 0 : bit[8];
+    variable st = r, volatile : { UP <= '1.......', DOWN <= '0.......' };
+}`)
+	wantCodes(t, diags, "W304")
+}
+
+// TestVolatileCandidate covers W305, the cs4236 pi bug class: a lone
+// boolean in a masked register, readable and writable but not volatile.
+func TestVolatileCandidate(t *testing.T) {
+	diags := checkSrc(t, `
+device d (a : bit[8] port @ {0})
+{
+    register r = a @ 0, mask '*******.' : bit[8];
+    variable pending = r[0] : bool;
+}`)
+	wantCodes(t, diags, "W305")
+
+	// Declaring it volatile silences the warning (and pulls the variable
+	// out of the elision set, which is the point).
+	diags = checkSrc(t, `
+device d (a : bit[8] port @ {0})
+{
+    register r = a @ 0, mask '*******.' : bit[8];
+    variable pending = r[0], volatile : bool;
+}`)
+	wantCodes(t, diags)
+}
+
+// TestVolatileCandidateCS4236 replays the motivating bug: strip the
+// volatile qualifier from the cs4236 interrupt flag pi and the check must
+// flag exactly that variable.
+func TestVolatileCandidateCS4236(t *testing.T) {
+	src := string(specs.CS4236)
+	devolatiled := strings.Replace(src, "variable pi = I24[4], volatile : bool;",
+		"variable pi = I24[4] : bool;", 1)
+	if devolatiled == src {
+		t.Fatal("cs4236.dil pi declaration not found; update the test")
+	}
+	diags := CheckSource([]byte(devolatiled))
+	if diags.HasErrors() {
+		t.Fatalf("de-volatiled cs4236 does not compile:\n%v", diags.Err())
+	}
+	found := false
+	for _, d := range diags {
+		if d.Code == "W305" && strings.Contains(d.Msg, "variable pi ") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("want W305 on de-volatiled pi, got:\n%v", diags.Err())
+	}
+}
+
+// TestDowngrades covers W306: the two environmental downgrade reasons a
+// small spec can exhibit — a volatile co-tenant and an unwindowed port
+// sharer — each naming the blocking entity.
+func TestDowngrades(t *testing.T) {
+	diags := checkSrc(t, `
+device d (a : bit[8] port @ {0..1})
+{
+    register r = a @ 0 : bit[8];
+    variable ready = r[7], volatile : bool;
+    variable ctl = r[6..0] : int(7);
+
+    register lo = a @ 1, mask '****....' : bit[8];
+    register hi = write a @ 1, mask '....****' : bit[8];
+    variable l = lo[3..0] : int(4);
+    variable h = hi[7..4] : int(4);
+}`)
+	var w306 []string
+	for _, d := range diags {
+		if d.Code == "W306" {
+			w306 = append(w306, d.Msg)
+		}
+	}
+	if len(w306) != 2 {
+		t.Fatalf("want 2 W306 findings, got %d:\n%v", len(w306), diags.Err())
+	}
+	if !strings.Contains(w306[0], "volatile co-tenant (ready)") {
+		t.Errorf("first downgrade should name the volatile tenant: %s", w306[0])
+	}
+	if !strings.Contains(w306[1], "unwindowed port sharer (hi)") {
+		t.Errorf("second downgrade should name the sharing register: %s", w306[1])
+	}
+}
+
+// TestShadowedSymbol covers W307: an all-wildcard pattern shadows a later
+// readable symbol; write-only symbols are exempt.
+func TestShadowedSymbol(t *testing.T) {
+	diags := checkSrc(t, `
+device d (a : bit[8] port @ {0})
+{
+    register r = a @ 0, mask '******..' : bit[8];
+    variable e = r[1..0] : { ANY <= '..', SPECIAL <= '1.', GO => '01' };
+}`)
+	wantCodes(t, diags, "W307")
+	if !strings.Contains(diags[0].Msg, "symbol SPECIAL") {
+		t.Errorf("should name the shadowed symbol: %s", diags[0].Msg)
+	}
+
+	// Reordering fixes it: the specific pattern first.
+	diags = checkSrc(t, `
+device d (a : bit[8] port @ {0})
+{
+    register r = a @ 0, mask '******..' : bit[8];
+    variable e = r[1..0] : { SPECIAL <= '1.', ANY <= '..', GO => '01' };
+}`)
+	wantCodes(t, diags)
+}
+
+// TestCheckSourceErrors checks that CheckSource reports compile errors
+// instead of running the warning analyses.
+func TestCheckSourceErrors(t *testing.T) {
+	diags := CheckSource([]byte(`device d (a : bit[8] port @ {0}) { register r = zz @ 0 : bit[8]; }`))
+	if !diags.HasErrors() {
+		t.Fatal("want hard errors")
+	}
+	for _, d := range diags {
+		if d.Severity != diag.SevError {
+			t.Errorf("warnings should not run on broken specs: %v", d)
+		}
+	}
+}
+
+// TestKnownCodesOnly asserts every lint finding uses a registered code
+// with warning severity (the diag registry panics on unknown codes at
+// Add time; this pins the severity class).
+func TestKnownCodesOnly(t *testing.T) {
+	srcs := [][]byte{[]byte(`
+device d (a : bit[8] port @ {0..1})
+{
+    register ro = read a @ 0 : bit[8];
+    register wo = write a @ 1 : bit[8];
+    variable v = ro # wo : int(16);
+}`)}
+	for _, src := range srcs {
+		for _, d := range CheckSource(src) {
+			info, ok := diag.Lookup(d.Code)
+			if !ok {
+				t.Fatalf("unregistered code %s", d.Code)
+			}
+			if info.Severity != diag.SevWarning {
+				t.Errorf("lint emitted non-warning code %s", d.Code)
+			}
+		}
+	}
+}

@@ -4,12 +4,12 @@ import (
 	"fmt"
 
 	"repro/internal/devil/ast"
-	"repro/internal/devil/scanner"
+	"repro/internal/devil/diag"
 )
 
 // check runs the §3.1 consistency properties over a resolved device. It
 // assumes resolution succeeded (no unresolved references remain).
-func check(d *Device, errs *scanner.ErrorList) {
+func check(d *Device, errs *diag.List) {
 	c := &checker{dev: d, errs: errs}
 	c.checkCoverageAndOverlap()
 	c.checkPortUsage()
@@ -24,7 +24,7 @@ func check(d *Device, errs *scanner.ErrorList) {
 
 type checker struct {
 	dev  *Device
-	errs *scanner.ErrorList
+	errs *diag.List
 }
 
 // ---------------------------------------------------------------------------
@@ -45,14 +45,14 @@ func (c *checker) checkCoverageAndOverlap() {
 				}
 				switch ch.Reg.Mask[b] {
 				case BitIrrelevant:
-					c.errs.Add(v.Pos, "variable %s uses bit %d of register %s, which the mask declares irrelevant",
+					c.errs.Add("E201", v.Pos, "variable %s uses bit %d of register %s, which the mask declares irrelevant",
 						v.Name, b, ch.Reg.Name)
 				case BitForce0, BitForce1:
-					c.errs.Add(v.Pos, "variable %s uses bit %d of register %s, which the mask forces on writes",
+					c.errs.Add("E202", v.Pos, "variable %s uses bit %d of register %s, which the mask forces on writes",
 						v.Name, b, ch.Reg.Name)
 				}
 				if prev := slots[b]; prev != nil && prev != v {
-					c.errs.Add(v.Pos, "bit %d of register %s belongs to both %s and %s",
+					c.errs.Add("E203", v.Pos, "bit %d of register %s belongs to both %s and %s",
 						b, ch.Reg.Name, prev.Name, v.Name)
 				}
 				slots[b] = v
@@ -73,7 +73,7 @@ func (c *checker) checkCoverageAndOverlap() {
 		}
 		for b, m := range reg.Mask {
 			if m == BitRelevant && owner[reg][b] == nil {
-				c.errs.Add(reg.Pos, "bit %d of register %s is relevant but belongs to no variable (mask it irrelevant or define a variable)",
+				c.errs.Add("E204", reg.Pos, "bit %d of register %s is relevant but belongs to no variable (mask it irrelevant or define a variable)",
 					b, reg.Name)
 			}
 		}
@@ -119,12 +119,12 @@ func (c *checker) checkPortUsage() {
 
 	for _, p := range c.dev.Ports {
 		if !usedPort[p] {
-			c.errs.Add(c.dev.AST.NamePos, "port %s is declared but never used", p.Name)
+			c.errs.Add("E205", c.dev.AST.NamePos, "port %s is declared but never used", p.Name)
 			continue
 		}
 		for _, off := range p.Offsets.Values() {
 			if !usedOffset[p][off] {
-				c.errs.Add(c.dev.AST.NamePos, "offset %d of port %s is declared but never used", off, p.Name)
+				c.errs.Add("E206", c.dev.AST.NamePos, "offset %d of port %s is declared but never used", off, p.Name)
 			}
 		}
 	}
@@ -144,7 +144,7 @@ func (c *checker) checkPortUsage() {
 				if s.write {
 					dir = "writing"
 				}
-				c.errs.Add(b.Pos, "registers %s and %s overlap %s %s@%d without disjoint pre-actions, disjoint masks, or a shared serialization",
+				c.errs.Add("E207", b.Pos, "registers %s and %s overlap %s %s@%d without disjoint pre-actions, disjoint masks, or a shared serialization",
 					a.Name, b.Name, dir, s.port.Name, s.offset)
 			}
 		}
@@ -289,7 +289,7 @@ func (c *checker) checkRegisterUsage() {
 	}
 	for _, reg := range c.dev.Registers {
 		if !used[reg] {
-			c.errs.Add(reg.Pos, "register %s is declared but never used", reg.Name)
+			c.errs.Add("E208", reg.Pos, "register %s is declared but never used", reg.Name)
 		}
 	}
 }
@@ -345,7 +345,7 @@ func (c *checker) checkPrivateUsage() {
 	}
 	for _, v := range c.dev.Variables {
 		if v.Private && !referenced[v] && v.Struct == nil {
-			c.errs.Add(v.Pos, "private variable %s is declared but never used", v.Name)
+			c.errs.Add("E209", v.Pos, "private variable %s is declared but never used", v.Name)
 		}
 	}
 }
@@ -362,7 +362,7 @@ func (c *checker) checkEnumDirections() {
 		if v.Readable && v.Type.Bits <= 12 {
 			for raw := uint64(0); raw < 1<<uint(v.Type.Bits); raw++ {
 				if _, ok := v.Type.SymbolFor(raw); !ok {
-					c.errs.Add(v.Pos, "read mapping of variable %s is not exhaustive: %s matches no symbol",
+					c.errs.Add("E210", v.Pos, "read mapping of variable %s is not exhaustive: %s matches no symbol",
 						v.Name, fmt.Sprintf("%0*b", v.Type.Bits, raw))
 					break
 				}
@@ -389,7 +389,7 @@ func (c *checker) checkTriggers() {
 		}
 		for _, v := range vs {
 			if v.Trigger != nil && v.Trigger.Dir != ast.AccessRead && !v.Trigger.HasNeutral {
-				c.errs.Add(v.Pos, "variable %s triggers on writes and shares register %s with other variables, but has no neutral value (use \"trigger except SYM\" or \"trigger for VALUE\")",
+				c.errs.Add("E211", v.Pos, "variable %s triggers on writes and shares register %s with other variables, but has no neutral value (use \"trigger except SYM\" or \"trigger for VALUE\")",
 					v.Name, reg.Name)
 			}
 		}
@@ -405,7 +405,7 @@ func (c *checker) checkBlocks() {
 			continue
 		}
 		if len(v.Chunks) != 1 || len(v.Chunks[0].Bits) != v.Chunks[0].Reg.Size {
-			c.errs.Add(v.Pos, "block variable %s must cover exactly one whole register", v.Name)
+			c.errs.Add("E212", v.Pos, "block variable %s must cover exactly one whole register", v.Name)
 		}
 	}
 }
@@ -461,7 +461,7 @@ func (c *checker) checkActionCycles() {
 	visitReg = func(reg *Register) bool {
 		switch color[reg] {
 		case grey:
-			c.errs.Add(reg.Pos, "pre-actions of register %s are cyclic (the access context can never be established)", reg.Name)
+			c.errs.Add("E213", reg.Pos, "pre-actions of register %s are cyclic (the access context can never be established)", reg.Name)
 			return false
 		case black:
 			return true
@@ -494,7 +494,7 @@ func (c *checker) checkGuardOrder() {
 					}
 				}
 				if !ok {
-					c.errs.Add(s.Pos, "structure %s: guard on %s tests a variable whose register is not written by an earlier step",
+					c.errs.Add("E214", s.Pos, "structure %s: guard on %s tests a variable whose register is not written by an earlier step",
 						s.Name, g.Var.Name)
 				}
 			}

@@ -2,14 +2,14 @@ package sema
 
 import (
 	"repro/internal/devil/ast"
-	"repro/internal/devil/scanner"
+	"repro/internal/devil/diag"
 	"repro/internal/devil/token"
 )
 
 // Resolve builds the resolved model for a parsed device and runs all
-// consistency checks. The returned error list contains every diagnostic in
+// consistency checks. The returned list contains every diagnostic in
 // source order; the model is usable only when the list is empty.
-func Resolve(dev *ast.Device) (*Device, scanner.ErrorList) {
+func Resolve(dev *ast.Device) (*Device, diag.List) {
 	r := &resolver{
 		dev: &Device{
 			Name:    dev.Name,
@@ -32,7 +32,7 @@ func Resolve(dev *ast.Device) (*Device, scanner.ErrorList) {
 
 type resolver struct {
 	dev  *Device
-	errs scanner.ErrorList
+	errs diag.List
 }
 
 // maxSetMembers bounds enumerable integer sets (port offset windows and
@@ -49,14 +49,14 @@ func (r *resolver) boundedSet(set *ast.IntSet, what, name string) bool {
 		return true
 	}
 	if n := set.Count(); n > maxSetMembers {
-		r.errorf(set.Pos(), "%s of %s has %d members; at most %d are supported", what, name, n, maxSetMembers)
+		r.errorf("E108", set.Pos(), "%s of %s has %d members; at most %d are supported", what, name, n, maxSetMembers)
 		return false
 	}
 	return true
 }
 
-func (r *resolver) errorf(pos token.Pos, format string, args ...any) {
-	r.errs.Add(pos, format, args...)
+func (r *resolver) errorf(code diag.Code, pos token.Pos, format string, args ...any) {
+	r.errs.Add(code, pos, format, args...)
 }
 
 // declared reports (and diagnoses) whether name is already taken in the
@@ -64,7 +64,7 @@ func (r *resolver) errorf(pos token.Pos, format string, args ...any) {
 func (r *resolver) declared(pos token.Pos, name string) bool {
 	d := r.dev
 	if d.ports[name] != nil || d.regs[name] != nil || d.vars[name] != nil || d.structs[name] != nil {
-		r.errorf(pos, "%s declared twice", name)
+		r.errorf("E101", pos, "%s declared twice", name)
 		return true
 	}
 	return false
@@ -80,7 +80,7 @@ func (r *resolver) collect(dev *ast.Device) {
 			continue
 		}
 		if p.Width != 8 && p.Width != 16 && p.Width != 32 {
-			r.errorf(p.NamePos, "port %s: unsupported access width %d (want 8, 16 or 32)", p.Name, p.Width)
+			r.errorf("E104", p.NamePos, "port %s: unsupported access width %d (want 8, 16 or 32)", p.Name, p.Width)
 		}
 		r.boundedSet(p.Offsets, "offset set", "port "+p.Name)
 		port := &Port{Name: p.Name, Width: p.Width, Offsets: p.Offsets, Index: i}
@@ -161,32 +161,32 @@ func (r *resolver) resolvePlainRegister(n *ast.Register, reg *Register) {
 	for _, pc := range n.Ports {
 		port := r.dev.ports[pc.Port.Name]
 		if port == nil {
-			r.errorf(pc.Port.NamePos, "register %s: unknown port %s", n.Name, pc.Port.Name)
+			r.errorf("E102", pc.Port.NamePos, "register %s: unknown port %s", n.Name, pc.Port.Name)
 			continue
 		}
 		if !port.Offsets.Contains(pc.Port.Offset) {
-			r.errorf(pc.Port.NamePos, "register %s: offset %d outside the declared range %s of port %s",
+			r.errorf("E103", pc.Port.NamePos, "register %s: offset %d outside the declared range %s of port %s",
 				n.Name, pc.Port.Offset, port.Offsets, port.Name)
 		}
 		if port.Width != n.Size {
-			r.errorf(pc.Port.NamePos, "register %s: size bit[%d] does not match the %d-bit access width of port %s",
+			r.errorf("E104", pc.Port.NamePos, "register %s: size bit[%d] does not match the %d-bit access width of port %s",
 				n.Name, n.Size, port.Width, port.Name)
 		}
 		use := &PortUse{Port: port, Offset: pc.Port.Offset}
 		switch pc.Dir {
 		case ast.AccessRead:
 			if reg.Read != nil {
-				r.errorf(pc.Port.NamePos, "register %s: read port given twice", n.Name)
+				r.errorf("E101", pc.Port.NamePos, "register %s: read port given twice", n.Name)
 			}
 			reg.Read = use
 		case ast.AccessWrite:
 			if reg.Write != nil {
-				r.errorf(pc.Port.NamePos, "register %s: write port given twice", n.Name)
+				r.errorf("E101", pc.Port.NamePos, "register %s: write port given twice", n.Name)
 			}
 			reg.Write = use
 		default:
 			if reg.Read != nil || reg.Write != nil {
-				r.errorf(pc.Port.NamePos, "register %s: read-write port clause conflicts with earlier clause", n.Name)
+				r.errorf("E106", pc.Port.NamePos, "register %s: read-write port clause conflicts with earlier clause", n.Name)
 			}
 			reg.Read, reg.Write = use, use
 		}
@@ -197,15 +197,15 @@ func (r *resolver) resolvePlainRegister(n *ast.Register, reg *Register) {
 func (r *resolver) resolveInstantiation(n *ast.Register, reg *Register) {
 	base := r.dev.regs[n.Base]
 	if base == nil {
-		r.errorf(n.NamePos, "register %s: unknown base register %s", n.Name, n.Base)
+		r.errorf("E102", n.NamePos, "register %s: unknown base register %s", n.Name, n.Base)
 		return
 	}
 	if !base.IsFamily() {
-		r.errorf(n.NamePos, "register %s: base register %s is not parameterized", n.Name, n.Base)
+		r.errorf("E105", n.NamePos, "register %s: base register %s is not parameterized", n.Name, n.Base)
 		return
 	}
 	if !base.Domain.Contains(n.BaseArg) {
-		r.errorf(n.NamePos, "register %s: argument %d outside the domain %s of %s",
+		r.errorf("E103", n.NamePos, "register %s: argument %d outside the domain %s of %s",
 			n.Name, n.BaseArg, base.Domain, n.Base)
 	}
 	reg.Base = base
@@ -219,7 +219,7 @@ func (r *resolver) resolveInstantiation(n *ast.Register, reg *Register) {
 		reg.Mask = base.Mask // shared: instantiations never mutate masks
 	}
 	if len(n.Ports) != 0 || n.Size != 0 {
-		r.errorf(n.NamePos, "register %s: an instantiation cannot redeclare ports or size", n.Name)
+		r.errorf("E105", n.NamePos, "register %s: an instantiation cannot redeclare ports or size", n.Name)
 	}
 	// Pre/post/set actions are inherited from the family in pass 3 with the
 	// parameter substituted by the instantiation argument.
@@ -233,7 +233,7 @@ func (r *resolver) resolveMask(m *ast.BitPattern, size int, regName string) []Ma
 		return mask
 	}
 	if m.Len() != size {
-		r.errorf(m.Pos(), "register %s: mask %s has %d bits, register has %d", regName, m, m.Len(), size)
+		r.errorf("E104", m.Pos(), "register %s: mask %s has %d bits, register has %d", regName, m, m.Len(), size)
 		return mask
 	}
 	for i, c := range m.Chars {
@@ -278,10 +278,10 @@ func (r *resolver) resolveVariables(dev *ast.Device) {
 func (r *resolver) resolveVariable(av *ast.Variable, v *Variable) {
 	if v.Cell {
 		if av.Volatile || av.Trigger != nil || av.Block {
-			r.errorf(av.NamePos, "memory cell %s cannot carry behaviour attributes", v.Name)
+			r.errorf("E105", av.NamePos, "memory cell %s cannot carry behaviour attributes", v.Name)
 		}
 		if av.Param != "" {
-			r.errorf(av.NamePos, "memory cell %s cannot be parameterized", v.Name)
+			r.errorf("E105", av.NamePos, "memory cell %s cannot be parameterized", v.Name)
 		}
 		v.Type = r.resolveType(av.Type, 0, v.Name)
 		v.Width = v.Type.Bits
@@ -303,7 +303,7 @@ func (r *resolver) resolveVariable(av *ast.Variable, v *Variable) {
 		}
 	}
 	if v.Width > 64 {
-		r.errorf(av.NamePos, "variable %s is %d bits wide; at most 64 are supported", v.Name, v.Width)
+		r.errorf("E104", av.NamePos, "variable %s is %d bits wide; at most 64 are supported", v.Name, v.Width)
 	}
 
 	v.Type = r.resolveType(av.Type, v.Width, v.Name)
@@ -312,13 +312,13 @@ func (r *resolver) resolveVariable(av *ast.Variable, v *Variable) {
 		case TypeIntSet:
 			// Width comes from the definition; checked via set range below.
 		default:
-			r.errorf(av.NamePos, "variable %s: definition has %d bits but type %s has %d",
+			r.errorf("E104", av.NamePos, "variable %s: definition has %d bits but type %s has %d",
 				v.Name, v.Width, v.Type, w)
 		}
 	}
 	if v.Type.Kind == TypeIntSet && v.Width > 0 && v.Width < 64 {
 		if max := v.Type.Set.Max(); uint64(max) >= 1<<uint(v.Width) {
-			r.errorf(av.NamePos, "variable %s: set value %d does not fit in %d bits", v.Name, max, v.Width)
+			r.errorf("E103", av.NamePos, "variable %s: set value %d does not fit in %d bits", v.Name, max, v.Width)
 		}
 	}
 
@@ -349,15 +349,15 @@ func (r *resolver) resolveVariable(av *ast.Variable, v *Variable) {
 			}
 		}
 		if hasRead && !v.Readable {
-			r.errorf(av.NamePos, "variable %s has read mappings but its registers cannot be read", v.Name)
+			r.errorf("E106", av.NamePos, "variable %s has read mappings but its registers cannot be read", v.Name)
 		}
 		if hasWrite && !v.Writable {
-			r.errorf(av.NamePos, "variable %s has write mappings but its registers cannot be written", v.Name)
+			r.errorf("E106", av.NamePos, "variable %s has write mappings but its registers cannot be written", v.Name)
 		}
 		v.Readable = v.Readable && hasRead
 		v.Writable = v.Writable && hasWrite
 		if !hasRead && !hasWrite {
-			r.errorf(av.NamePos, "enumerated type of %s has neither read nor write mappings", v.Name)
+			r.errorf("E106", av.NamePos, "enumerated type of %s has neither read nor write mappings", v.Name)
 		}
 	}
 
@@ -371,21 +371,21 @@ func (r *resolver) resolveVariable(av *ast.Variable, v *Variable) {
 func (r *resolver) resolveChunk(ac *ast.Chunk, v *Variable) *Chunk {
 	reg := r.dev.regs[ac.Reg]
 	if reg == nil {
-		r.errorf(ac.RegPos, "variable %s: unknown register %s", v.Name, ac.Reg)
+		r.errorf("E102", ac.RegPos, "variable %s: unknown register %s", v.Name, ac.Reg)
 		return nil
 	}
 	c := &Chunk{Reg: reg}
 	switch {
 	case ac.HasArg && ac.ArgRef != "":
 		if ac.ArgRef != v.Param {
-			r.errorf(ac.RegPos, "variable %s: argument %s is not the variable's parameter", v.Name, ac.ArgRef)
+			r.errorf("E105", ac.RegPos, "variable %s: argument %s is not the variable's parameter", v.Name, ac.ArgRef)
 		}
 		if !reg.IsFamily() {
-			r.errorf(ac.RegPos, "variable %s: register %s is not parameterized", v.Name, reg.Name)
+			r.errorf("E105", ac.RegPos, "variable %s: register %s is not parameterized", v.Name, reg.Name)
 		} else if v.Domain != nil {
 			for _, val := range v.Domain.Values() {
 				if !reg.Domain.Contains(val) {
-					r.errorf(ac.RegPos, "variable %s: parameter value %d outside the domain %s of register %s",
+					r.errorf("E103", ac.RegPos, "variable %s: parameter value %d outside the domain %s of register %s",
 						v.Name, val, reg.Domain, reg.Name)
 					break
 				}
@@ -394,16 +394,16 @@ func (r *resolver) resolveChunk(ac *ast.Chunk, v *Variable) *Chunk {
 		c.ArgKind = ArgParam
 	case ac.HasArg:
 		if !reg.IsFamily() {
-			r.errorf(ac.RegPos, "variable %s: register %s is not parameterized", v.Name, reg.Name)
+			r.errorf("E105", ac.RegPos, "variable %s: register %s is not parameterized", v.Name, reg.Name)
 		} else if !reg.Domain.Contains(ac.ArgVal) {
-			r.errorf(ac.RegPos, "variable %s: argument %d outside the domain %s of register %s",
+			r.errorf("E103", ac.RegPos, "variable %s: argument %d outside the domain %s of register %s",
 				v.Name, ac.ArgVal, reg.Domain, reg.Name)
 		}
 		c.ArgKind = ArgConst
 		c.ArgVal = ac.ArgVal
 	default:
 		if reg.IsFamily() {
-			r.errorf(ac.RegPos, "variable %s: parameterized register %s needs an argument", v.Name, reg.Name)
+			r.errorf("E105", ac.RegPos, "variable %s: parameterized register %s needs an argument", v.Name, reg.Name)
 		}
 	}
 
@@ -415,11 +415,11 @@ func (r *resolver) resolveChunk(ac *ast.Chunk, v *Variable) *Chunk {
 		seen := map[int]bool{}
 		for _, b := range ac.Bits {
 			if b < 0 || b >= reg.Size {
-				r.errorf(ac.RegPos, "variable %s: bit %d outside register %s (%d bits)", v.Name, b, reg.Name, reg.Size)
+				r.errorf("E103", ac.RegPos, "variable %s: bit %d outside register %s (%d bits)", v.Name, b, reg.Name, reg.Size)
 				continue
 			}
 			if seen[b] {
-				r.errorf(ac.RegPos, "variable %s: bit %d of register %s used twice in one chunk", v.Name, b, reg.Name)
+				r.errorf("E101", ac.RegPos, "variable %s: bit %d of register %s used twice in one chunk", v.Name, b, reg.Name)
 				continue
 			}
 			seen[b] = true
@@ -491,9 +491,9 @@ func (r *resolver) resolveTrigger(av *ast.Variable, v *Variable) {
 	if t.Except != "" {
 		sym, ok := v.Type.Symbol(t.Except)
 		if !ok {
-			r.errorf(t.AttrPos, "variable %s: neutral symbol %s is not part of the type", v.Name, t.Except)
+			r.errorf("E102", t.AttrPos, "variable %s: neutral symbol %s is not part of the type", v.Name, t.Except)
 		} else if sym.CareMask != v.Type.widthMask() {
-			r.errorf(t.AttrPos, "variable %s: neutral symbol %s has wildcard bits", v.Name, t.Except)
+			r.errorf("E107", t.AttrPos, "variable %s: neutral symbol %s has wildcard bits", v.Name, t.Except)
 		} else {
 			v.Trigger.HasNeutral = true
 			v.Trigger.Neutral = sym.Value
@@ -502,7 +502,7 @@ func (r *resolver) resolveTrigger(av *ast.Variable, v *Variable) {
 	if t.For != nil {
 		val := r.resolveValue(t.For, v.Type, "", v.Name)
 		if val.Kind != ValConst {
-			r.errorf(t.AttrPos, "variable %s: trigger-for value must be a constant", v.Name)
+			r.errorf("E107", t.AttrPos, "variable %s: trigger-for value must be a constant", v.Name)
 		} else {
 			v.Trigger.HasFor = true
 			v.Trigger.For = val.Const
@@ -537,21 +537,21 @@ func (r *resolver) resolveAction(a *ast.Action, param string) *Action {
 	if s := r.dev.structs[a.Target]; s != nil {
 		lit, ok := a.Value.(*ast.StructLit)
 		if !ok {
-			r.errorf(a.TargetPos, "assignment to structure %s needs a structure literal", a.Target)
+			r.errorf("E107", a.TargetPos, "assignment to structure %s needs a structure literal", a.Target)
 			return nil
 		}
 		val := Value{Kind: ValStruct}
 		for _, f := range lit.Fields {
 			fv := r.dev.vars[f.Name]
 			if fv == nil || fv.Struct != s {
-				r.errorf(f.NamePos, "%s is not a field of structure %s", f.Name, s.Name)
+				r.errorf("E102", f.NamePos, "%s is not a field of structure %s", f.Name, s.Name)
 				continue
 			}
 			val.Fields = append(val.Fields, FieldValue{Var: fv, Value: r.resolveValue(f.Value, fv.Type, param, f.Name)})
 		}
 		return &Action{Pos: a.TargetPos, TargetStruct: s, Value: val}
 	}
-	r.errorf(a.TargetPos, "unknown action target %s", a.Target)
+	r.errorf("E102", a.TargetPos, "unknown action target %s", a.Target)
 	return nil
 }
 
@@ -561,12 +561,12 @@ func (r *resolver) resolveValue(e ast.Expr, target *Type, param, targetName stri
 	case *ast.IntLit:
 		raw, err := target.Encode(int64(n.Value))
 		if err != nil {
-			r.errorf(n.LitPos, "value for %s: %v", targetName, err)
+			r.errorf("E107", n.LitPos, "value for %s: %v", targetName, err)
 		}
 		return Value{Kind: ValConst, Const: raw}
 	case *ast.BoolLit:
 		if target.Kind != TypeBool {
-			r.errorf(n.LitPos, "boolean value for non-boolean %s", targetName)
+			r.errorf("E107", n.LitPos, "boolean value for non-boolean %s", targetName)
 		}
 		var raw uint64
 		if n.Value {
@@ -579,10 +579,10 @@ func (r *resolver) resolveValue(e ast.Expr, target *Type, param, targetName stri
 		if target.Kind == TypeEnum {
 			if sym, ok := target.Symbol(n.Name); ok {
 				if !sym.Writable() {
-					r.errorf(n.NamePos, "symbol %s of %s is read-only", n.Name, targetName)
+					r.errorf("E106", n.NamePos, "symbol %s of %s is read-only", n.Name, targetName)
 				}
 				if sym.CareMask != target.widthMask() {
-					r.errorf(n.NamePos, "symbol %s of %s has wildcard bits and cannot be written", n.Name, targetName)
+					r.errorf("E107", n.NamePos, "symbol %s of %s has wildcard bits and cannot be written", n.Name, targetName)
 				}
 				return Value{Kind: ValConst, Const: sym.Value}
 			}
@@ -593,10 +593,10 @@ func (r *resolver) resolveValue(e ast.Expr, target *Type, param, targetName stri
 		if v := r.dev.vars[n.Name]; v != nil {
 			return Value{Kind: ValVarRef, Var: v}
 		}
-		r.errorf(n.NamePos, "unknown name %s in value for %s", n.Name, targetName)
+		r.errorf("E102", n.NamePos, "unknown name %s in value for %s", n.Name, targetName)
 		return Value{Kind: ValConst}
 	case *ast.StructLit:
-		r.errorf(n.LbracePos, "structure literal not allowed as value for %s", targetName)
+		r.errorf("E107", n.LbracePos, "structure literal not allowed as value for %s", targetName)
 		return Value{Kind: ValConst}
 	}
 	return Value{Kind: ValConst}
@@ -632,7 +632,7 @@ func (r *resolver) substituteValue(v Value, target *Type, inst *Register) Value 
 		}
 		raw, err := target.Encode(int64(inst.Arg))
 		if err != nil {
-			r.errorf(inst.Pos, "register %s: %v", inst.Name, err)
+			r.errorf("E103", inst.Pos, "register %s: %v", inst.Name, err)
 		}
 		return Value{Kind: ValConst, Const: raw}
 	case ValStruct:
@@ -665,11 +665,11 @@ func (r *resolver) resolveSerialization(items []*ast.SerItem, used []*Register, 
 	for _, it := range items {
 		reg := r.dev.regs[it.Reg]
 		if reg == nil {
-			r.errorf(it.RegPos, "%s: unknown register %s in serialization", name, it.Reg)
+			r.errorf("E102", it.RegPos, "%s: unknown register %s in serialization", name, it.Reg)
 			continue
 		}
 		if !usedSet[reg] {
-			r.errorf(it.RegPos, "%s: register %s is not used by the declaration", name, it.Reg)
+			r.errorf("E109", it.RegPos, "%s: register %s is not used by the declaration", name, it.Reg)
 			continue
 		}
 		step := &SerStep{Reg: reg}
@@ -681,7 +681,7 @@ func (r *resolver) resolveSerialization(items []*ast.SerItem, used []*Register, 
 	}
 	for _, reg := range used {
 		if !covered[reg] {
-			r.errorf(r.dev.AST.NamePos, "%s: register %s missing from serialization", name, reg.Name)
+			r.errorf("E109", r.dev.AST.NamePos, "%s: register %s missing from serialization", name, reg.Name)
 		}
 	}
 	return steps
@@ -690,15 +690,15 @@ func (r *resolver) resolveSerialization(items []*ast.SerItem, used []*Register, 
 func (r *resolver) resolveGuard(g *ast.Guard, owner *Structure, name string) *Guard {
 	v := r.dev.vars[g.Var]
 	if v == nil {
-		r.errorf(g.IfPos, "%s: unknown variable %s in guard", name, g.Var)
+		r.errorf("E102", g.IfPos, "%s: unknown variable %s in guard", name, g.Var)
 		return nil
 	}
 	if owner != nil && v.Struct != owner && !v.Cell {
-		r.errorf(g.IfPos, "%s: guard variable %s is not a field of the structure", name, g.Var)
+		r.errorf("E109", g.IfPos, "%s: guard variable %s is not a field of the structure", name, g.Var)
 	}
 	val := r.resolveValue(g.Value, v.Type, "", g.Var)
 	if val.Kind != ValConst {
-		r.errorf(g.IfPos, "%s: guard comparand must be a constant", name)
+		r.errorf("E107", g.IfPos, "%s: guard comparand must be a constant", name)
 		return nil
 	}
 	return &Guard{Var: v, Neg: g.Neg, Value: val.Const}

@@ -42,9 +42,9 @@ func resolveSrc(t *testing.T, src string) *Device {
 	if errs.Err() != nil {
 		t.Fatalf("parse: %v", errs)
 	}
-	dev, errs := Resolve(astDev)
-	if errs.Err() != nil {
-		t.Fatalf("resolve: %v", errs)
+	dev, diags := Resolve(astDev)
+	if diags.Err() != nil {
+		t.Fatalf("resolve: %v", diags)
 	}
 	return dev
 }
@@ -56,12 +56,12 @@ func expectErr(t *testing.T, src, sub string) {
 	if errs.Err() != nil {
 		t.Fatalf("parse: %v", errs)
 	}
-	_, errs = Resolve(astDev)
-	if errs.Err() == nil {
+	_, diags := Resolve(astDev)
+	if diags.Err() == nil {
 		t.Fatalf("expected error containing %q, got none", sub)
 	}
-	if !strings.Contains(errs.Error(), sub) {
-		t.Fatalf("errors %q do not contain %q", errs.Error(), sub)
+	if !strings.Contains(diags.Error(), sub) {
+		t.Fatalf("errors %q do not contain %q", diags.Error(), sub)
 	}
 }
 

@@ -177,7 +177,7 @@ func (r *resolver) resolveType(at ast.Type, width int, varName string) *Type {
 		return &Type{Kind: TypeBool, Bits: 1}
 	case *ast.IntType:
 		if t.Bits <= 0 || t.Bits > 64 {
-			r.errorf(t.Pos(), "unsupported integer width %d for %s", t.Bits, varName)
+			r.errorf("E104", t.Pos(), "unsupported integer width %d for %s", t.Bits, varName)
 			return &Type{Kind: TypeUInt, Bits: 1}
 		}
 		k := TypeUInt
@@ -193,13 +193,13 @@ func (r *resolver) resolveType(at ast.Type, width int, varName string) *Type {
 			}
 		}
 		if t.Set.Min() < 0 {
-			r.errorf(t.Pos(), "negative values not allowed in int set type of %s", varName)
+			r.errorf("E103", t.Pos(), "negative values not allowed in int set type of %s", varName)
 		}
 		return &Type{Kind: TypeIntSet, Bits: bits, Set: t.Set}
 	case *ast.EnumType:
 		rt := &Type{Kind: TypeEnum}
 		if len(t.Items) == 0 {
-			r.errorf(t.Pos(), "empty enumerated type for %s", varName)
+			r.errorf("E107", t.Pos(), "empty enumerated type for %s", varName)
 			rt.Bits = 1
 			return rt
 		}
@@ -207,12 +207,12 @@ func (r *resolver) resolveType(at ast.Type, width int, varName string) *Type {
 		seen := map[string]bool{}
 		for _, it := range t.Items {
 			if seen[it.Name] {
-				r.errorf(it.NamePos, "symbol %s declared twice in enumerated type of %s", it.Name, varName)
+				r.errorf("E101", it.NamePos, "symbol %s declared twice in enumerated type of %s", it.Name, varName)
 				continue
 			}
 			seen[it.Name] = true
 			if it.Pattern.Len() != rt.Bits {
-				r.errorf(it.Pattern.Pos(), "pattern %s of symbol %s has %d bits, type has %d",
+				r.errorf("E104", it.Pattern.Pos(), "pattern %s of symbol %s has %d bits, type has %d",
 					it.Pattern, it.Name, it.Pattern.Len(), rt.Bits)
 				continue
 			}
@@ -228,7 +228,7 @@ func (r *resolver) resolveType(at ast.Type, width int, varName string) *Type {
 				case '.':
 					// wildcard bit
 				default:
-					r.errorf(it.Pattern.Pos(), "character %q not allowed in enum pattern %s (use 0, 1 or .)",
+					r.errorf("E107", it.Pattern.Pos(), "character %q not allowed in enum pattern %s (use 0, 1 or .)",
 						string(c), it.Pattern)
 				}
 			}
@@ -236,6 +236,6 @@ func (r *resolver) resolveType(at ast.Type, width int, varName string) *Type {
 		}
 		return rt
 	}
-	r.errorf(at.Pos(), "unsupported type for %s", varName)
+	r.errorf("E107", at.Pos(), "unsupported type for %s", varName)
 	return &Type{Kind: TypeUInt, Bits: 1}
 }

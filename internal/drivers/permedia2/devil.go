@@ -1,9 +1,6 @@
 package permedia2
 
 import (
-	"encoding/binary"
-	"fmt"
-
 	gen "repro/internal/gen/permedia2"
 	"repro/internal/snap"
 )
@@ -27,38 +24,36 @@ func NewDevil(p Ports) *Devil {
 func (d *Devil) Name() string { return "devil" }
 
 // MarshalState implements snap.Snapshotter: the stub's driver state plus
-// the configured pixel depth.
+// the configured pixel depth, as container parts.
 func (d *Devil) MarshalState(dst []byte) ([]byte, error) {
-	dst, patch := snap.AppendHeader(dst, "permedia2-devil")
-	var err error
-	if dst, err = d.dev.MarshalState(dst); err != nil {
-		return nil, err
-	}
-	dst = snap.AppendU32(dst, uint32(d.bpp))
-	return snap.FinishHeader(dst, patch), nil
+	return snap.MarshalParts(dst, "permedia2-devil", d.dev, bppState{d})
 }
 
 // UnmarshalState implements snap.Snapshotter.
 func (d *Devil) UnmarshalState(data []byte) error {
-	h, payload, _, err := snap.ReadHeader(data)
+	return snap.UnmarshalParts(data, "permedia2-devil", d.dev, bppState{d})
+}
+
+// bppState frames the driver's pixel depth as its own snapshot part, so
+// the container decodes through snap.UnmarshalParts instead of indexing
+// raw tail bytes (the shape mismatch is then caught by the part framing).
+type bppState struct{ d *Devil }
+
+// MarshalState implements snap.Snapshotter.
+func (b bppState) MarshalState(dst []byte) ([]byte, error) {
+	dst, patch := snap.AppendHeader(dst, "permedia2-devil-bpp")
+	dst = snap.AppendU32(dst, uint32(b.d.bpp))
+	return snap.FinishHeader(dst, patch), nil
+}
+
+// UnmarshalState implements snap.Snapshotter.
+func (b bppState) UnmarshalState(data []byte) error {
+	r, err := snap.NewReader(data, "permedia2-devil-bpp")
 	if err != nil {
 		return err
 	}
-	if h.Name != "permedia2-devil" {
-		return fmt.Errorf("snap: blob is %q, want %q", h.Name, "permedia2-devil")
-	}
-	blob, rest, err := snap.Part(payload)
-	if err != nil {
-		return err
-	}
-	if err := d.dev.UnmarshalState(blob); err != nil {
-		return err
-	}
-	if len(rest) != 4 {
-		return fmt.Errorf("snap: permedia2-devil: %d tail bytes, want 4 (state shape mismatch)", len(rest))
-	}
-	d.bpp = int(binary.LittleEndian.Uint32(rest))
-	return nil
+	b.d.bpp = int(r.U32())
+	return r.Close()
 }
 
 // Init implements Driver.
@@ -91,6 +86,13 @@ func depthVal(bpp int) gen.FbDepthVal {
 
 func (d *Devil) waitFIFO(n int) {
 	for int(d.dev.FifoSpace()) < n {
+	}
+}
+
+// WaitIdle implements Driver: spin until every FIFO entry is free. The
+// poll goes through the generated FifoSpace stub, not a raw port read.
+func (d *Devil) WaitIdle() {
+	for int(d.dev.FifoSpace()) != fifoDepth {
 	}
 }
 

@@ -1,3 +1,8 @@
+// The hand-crafted baseline driver: raw port I/O with magic offsets is
+// this file's whole point — it is the interface the paper's generated
+// stubs replace, kept for the Tables' comparisons.
+//
+//devil:rawport
 package permedia2
 
 import "repro/internal/snap"
@@ -78,6 +83,12 @@ func (d *Hand) Init(bpp int) error {
 // iteration, the #w of Tables 3 and 4.
 func (d *Hand) waitFIFO(n int) {
 	for int(d.p.Space.In32(d.p.Base+hwFIFOSpace)&0x3f) < n {
+	}
+}
+
+// WaitIdle implements Driver: spin until every FIFO entry is free.
+func (d *Hand) WaitIdle() {
+	for d.p.Space.In32(d.p.Base+hwFIFOSpace)&0x3f != fifoDepth {
 	}
 }
 

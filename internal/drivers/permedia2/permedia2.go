@@ -33,11 +33,20 @@ type Driver interface {
 	FillRect(x, y, w, h int, color uint32)
 	// CopyRect copies a w×h block from (sx, sy) to (dx, dy).
 	CopyRect(sx, sy, dx, dy, w, h int)
+	// WaitIdle spins until the engine has drained its input FIFO, so a
+	// caller can wait for issued primitives to be drawn. Harness code
+	// (experiments, farm) must use this instead of polling the FIFO
+	// register raw — driver-internal port knowledge stays in the drivers.
+	WaitIdle()
 	// Drivers snapshot alongside the chip they program (see internal/farm
 	// and internal/snap): the configured depth, plus the stub driver
 	// state for the Devil variant.
 	snap.Snapshotter
 }
+
+// fifoDepth is the chip's input-FIFO capacity in entries: the FIFOSpace
+// register reads this value exactly when the engine is idle.
+const fifoDepth = 32
 
 // depthCode converts bits-per-pixel to the fb_write_config depth field.
 func depthCode(bpp int) (uint32, error) {

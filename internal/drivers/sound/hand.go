@@ -1,3 +1,8 @@
+// The hand-crafted baseline driver: raw port I/O with magic offsets is
+// this file's whole point — it is the interface the paper's generated
+// stubs replace, kept for the Tables' comparisons.
+//
+//devil:rawport
 package sound
 
 import (

@@ -225,8 +225,7 @@ func runGfx(mk func(pmdrv.Ports) pmdrv.Driver, bpp, size, n int, copyTest bool) 
 	// Run to completion: wait for the engine to drain so the measurement
 	// covers drawn primitives, not issued ones (otherwise the drivers'
 	// different FIFO pipelining depths skew short engine-bound runs).
-	for space.In32(pmBase+simpm.RegInFIFOSpace)&0x3f != simpm.FIFODepth {
-	}
+	drv.WaitIdle()
 	elapsed := clk.Now() - start
 	rate := float64(n) / (float64(elapsed) / 1e9)
 	return writes, rate, nil

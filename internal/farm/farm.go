@@ -231,8 +231,7 @@ func (h *Host) buildGfx() {
 				drv.FillRect(0, 0, size, size, uint32(i))
 			}
 			// Drain: the measurement covers drawn primitives, not issued ones.
-			for space.In32(pmBase+simpm.RegInFIFOSpace)&0x3f != simpm.FIFODepth {
-			}
+			drv.WaitIdle()
 			return uint64(n * size * size), nil
 		}},
 	}
@@ -507,36 +506,6 @@ func RestoreHost(data []byte) (*Host, error) {
 	}
 	h.pos, h.moved, h.start = pos, moved, start
 	return h, nil
-}
-
-// ---------------------------------------------------------------------------
-// Deprecated constructors
-
-// NewIDEHost builds a host that DMA-reads sequential sectors from its own
-// disk model.
-//
-// Deprecated: use New with a WorkloadSpec{Kind: IDE}. This wrapper will
-// be removed one release after the snapshot work lands.
-func NewIDEHost(name string, v Variant, sectors int) *Host {
-	return New(name, WorkloadSpec{Kind: IDE, Variant: v, Sectors: sectors})
-}
-
-// NewGfxHost builds a host that fills n size×size rectangles on its own
-// Permedia2 model at 8 bpp.
-//
-// Deprecated: use New with a WorkloadSpec{Kind: Gfx}. This wrapper will
-// be removed one release after the snapshot work lands.
-func NewGfxHost(name string, v Variant, size, n int) *Host {
-	return New(name, WorkloadSpec{Kind: Gfx, Variant: v, Size: size, Rects: n})
-}
-
-// NewSoundHost builds a host that streams a generated clip of revs ring
-// revolutions through its own codec+DMA+PIC rig.
-//
-// Deprecated: use New with a WorkloadSpec{Kind: Sound}. This wrapper will
-// be removed one release after the snapshot work lands.
-func NewSoundHost(name string, v Variant, cfg snddrv.Config, revs int) *Host {
-	return New(name, WorkloadSpec{Kind: Sound, Variant: v, Sound: cfg, Revs: revs})
 }
 
 // DefaultFleet builds n hosts of the given variant cycling through the

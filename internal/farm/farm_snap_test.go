@@ -194,25 +194,3 @@ func TestRestoreHostRejectsOversizedSpec(t *testing.T) {
 		t.Error("RestoreHost accepted a spec beyond the size cap")
 	}
 }
-
-// TestDeprecatedConstructors keeps the one-release compatibility shims
-// honest: they must build hosts identical to the New equivalents.
-func TestDeprecatedConstructors(t *testing.T) {
-	cfg := snddrv.Config{Rate: 22050, RingBytes: 512}
-	pairs := []struct {
-		name     string
-		old, new *Host
-	}{
-		{"ide", NewIDEHost("h", Devil, 8), New("h", WorkloadSpec{Kind: IDE, Variant: Devil, Sectors: 8})},
-		{"gfx", NewGfxHost("h", Hand, 16, 2), New("h", WorkloadSpec{Kind: Gfx, Variant: Hand, Size: 16, Rects: 2})},
-		{"snd", NewSoundHost("h", Devil, cfg, 2), New("h", WorkloadSpec{Kind: Sound, Variant: Devil, Sound: cfg, Revs: 2})},
-	}
-	for _, p := range pairs {
-		if p.old.Spec() != p.new.Spec() {
-			t.Errorf("%s: wrapper spec %+v != New spec %+v", p.name, p.old.Spec(), p.new.Spec())
-		}
-		if got, want := p.old.Run(), p.new.Run(); !reflect.DeepEqual(got, want) {
-			t.Errorf("%s: wrapper Result %+v != New Result %+v", p.name, got, want)
-		}
-	}
-}
